@@ -1,0 +1,112 @@
+"""Experiment E6 (Sections 3 and 6): head-to-head algorithm comparison on hypercubes.
+
+Paper claims:
+
+* the general algorithm matches the ``O(Δ·N)`` time complexity of Chiang &
+  Tan's extended-star algorithm and beats Yang's ``O(n²·2^n)`` cycle
+  algorithm's bound;
+* it consults markedly fewer syndrome-table entries than Chiang & Tan's
+  approach (which reads essentially the whole table);
+* (Fig. 1 / Fig. 2) the comparator structures — the cycle decomposition and
+  the extended stars — are exactly what the baselines build.
+
+For ``Q_8``–``Q_10`` the three diagnosers run on identical syndromes; all must
+return the injected fault set, and the recorded lookups demonstrate the
+ordering  Stewart ≪ Yang < extended-star ≈ full table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExtendedStarDiagnoser, YangCycleDiagnoser
+from repro.core.diagnosis import GeneralDiagnoser
+from repro.core.syndrome import syndrome_table_size
+from repro.networks import Hypercube
+
+from .conftest import prepared_instance
+
+DIMENSIONS = [8, 9, 10]
+
+
+def _prepared(n):
+    cube = Hypercube(n)
+    faults, syndrome = prepared_instance(cube, seed=17)
+    return cube, faults, syndrome
+
+
+@pytest.mark.parametrize("n", DIMENSIONS)
+def test_stewart_general_algorithm(benchmark, n):
+    cube, faults, syndrome = _prepared(n)
+    diagnoser = GeneralDiagnoser(cube)
+
+    def run():
+        syndrome.reset_lookups()
+        return diagnoser.diagnose(syndrome)
+
+    result = benchmark(run)
+    assert result.faulty == faults
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["algorithm"] = "stewart"
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["lookups"] = result.lookups
+    benchmark.extra_info["full_table"] = syndrome_table_size(cube)
+
+
+@pytest.mark.parametrize("n", DIMENSIONS)
+def test_yang_cycle_algorithm(benchmark, n):
+    cube, faults, syndrome = _prepared(n)
+    diagnoser = YangCycleDiagnoser(cube)
+
+    def run():
+        syndrome.reset_lookups()
+        return diagnoser.diagnose(syndrome)
+
+    result = benchmark(run)
+    assert result.faulty == faults
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["algorithm"] = "yang"
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["lookups"] = result.lookups
+
+
+@pytest.mark.parametrize("n", DIMENSIONS)
+def test_extended_star_algorithm(benchmark, n):
+    cube, faults, syndrome = _prepared(n)
+    diagnoser = ExtendedStarDiagnoser(cube)
+
+    def run():
+        syndrome.reset_lookups()
+        return diagnoser.diagnose(syndrome)
+
+    result = benchmark(run)
+    assert result.faulty == faults
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["algorithm"] = "extended_star"
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["lookups"] = result.lookups
+
+
+@pytest.mark.parametrize("n", [9])
+def test_lookup_ordering_claim(benchmark, n):
+    """Stewart consults far fewer entries than the extended-star comparator."""
+    cube, faults, syndrome = _prepared(n)
+    stewart = GeneralDiagnoser(cube)
+    extended = ExtendedStarDiagnoser(cube)
+
+    def run():
+        syndrome.reset_lookups()
+        a = stewart.diagnose(syndrome)
+        stewart_lookups = syndrome.lookups
+        syndrome.reset_lookups()
+        b = extended.diagnose(syndrome)
+        extended_lookups = syndrome.lookups
+        return a, b, stewart_lookups, extended_lookups
+
+    a, b, stewart_lookups, extended_lookups = benchmark(run)
+    assert a.faulty == b.faulty == faults
+    assert stewart_lookups * 2 < extended_lookups
+    benchmark.extra_info["experiment"] = "E6"
+    benchmark.extra_info["stewart_lookups"] = stewart_lookups
+    benchmark.extra_info["extended_star_lookups"] = extended_lookups
+    benchmark.extra_info["full_table"] = syndrome_table_size(cube)

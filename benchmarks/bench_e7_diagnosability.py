@@ -1,0 +1,76 @@
+"""Experiment E7 (Section 2 and reference [6]): diagnosability bounds.
+
+Regenerated claims:
+
+* the quoted diagnosability of every Section 5 family equals its degree-based
+  value and never exceeds the minimum-degree upper bound;
+* the Chang–Lai–Tan–Hsu condition (regular of degree n, connectivity n,
+  ≥ 2n + 3 nodes) applies to the zoo instances and yields exactly the quoted
+  value;
+* the Section 2 witness (N(u) vs N(u) ∪ {u}) is indistinguishable, i.e. the
+  bound is tight;
+* on a graph small enough for exhaustive search (the Petersen graph) the
+  brute-force diagnosability matches the Chang value.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.diagnosability import (
+    chang_condition,
+    exact_diagnosability,
+    indistinguishable_witness,
+    min_degree_upper_bound,
+)
+from repro.diagnosability.search import are_indistinguishable
+from repro.networks import ExplicitNetwork
+from repro.networks.registry import FAMILIES
+
+ZOO = ["hypercube", "crossed_cube", "folded_hypercube", "augmented_cube",
+       "kary_ncube", "star", "pancake", "nk_star", "arrangement"]
+
+
+@pytest.mark.parametrize("family", ZOO)
+def test_chang_condition_reproduces_quoted_diagnosability(benchmark, family):
+    spec = FAMILIES[family]
+    network = spec.constructor(**spec.small)
+
+    report = benchmark(chang_condition, network)
+
+    quoted = network.diagnosability()
+    assert quoted <= min_degree_upper_bound(network)
+    if report.applies:
+        assert report.implied_diagnosability == quoted
+    benchmark.extra_info["experiment"] = "E7"
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["quoted_delta"] = quoted
+    benchmark.extra_info["chang_applies"] = report.applies
+
+
+@pytest.mark.parametrize("family", ["hypercube", "star", "kary_ncube"])
+def test_min_degree_witness_is_indistinguishable(benchmark, family):
+    spec = FAMILIES[family]
+    network = spec.constructor(**spec.small)
+
+    def witness_check():
+        without, with_center = indistinguishable_witness(network)
+        return are_indistinguishable(network, without, with_center)
+
+    assert benchmark(witness_check)
+    benchmark.extra_info["experiment"] = "E7"
+    benchmark.extra_info["family"] = family
+
+
+def test_exhaustive_diagnosability_matches_chang_on_petersen(benchmark):
+    network = ExplicitNetwork.from_networkx(nx.petersen_graph())
+    report = chang_condition(network, connectivity=3)
+    assert report.applies and report.implied_diagnosability == 3
+
+    value = benchmark(exact_diagnosability, network)
+
+    assert value == 3
+    benchmark.extra_info["experiment"] = "E7"
+    benchmark.extra_info["graph"] = "petersen"
+    benchmark.extra_info["exact_diagnosability"] = value

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Comparison of the paper's algorithm with the Section 3 alternatives.
+
+On identical hypercube syndromes this script runs
+
+* the paper's general algorithm (Set_Builder + partition probing),
+* Yang's cycle-decomposition algorithm [27] (hypercube-specific), and
+* an extended-star local diagnoser in the spirit of Chiang & Tan [8],
+
+and reports wall-clock time and — the paper's Section 6 argument — how many
+syndrome-table entries each one needs to consult.
+
+Run with:  python examples/algorithm_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import GeneralDiagnoser, Hypercube, generate_syndrome, random_faults
+from repro.analysis import format_table
+from repro.baselines import ExtendedStarDiagnoser, YangCycleDiagnoser
+from repro.core.syndrome import syndrome_table_size
+
+
+def timed(callable_, *args):
+    start = time.perf_counter()
+    result = callable_(*args)
+    return result, time.perf_counter() - start
+
+
+def main() -> None:
+    rows = []
+    for n in (8, 9, 10):
+        cube = Hypercube(n)
+        faults = random_faults(cube, n, seed=5)
+        table = syndrome_table_size(cube)
+
+        algorithms = {
+            "Stewart (this paper)": lambda s: GeneralDiagnoser(cube).diagnose(s).faulty,
+            "Yang cycles [27]": lambda s: YangCycleDiagnoser(cube).diagnose(s).faulty,
+            "extended star [8]": lambda s: ExtendedStarDiagnoser(cube).diagnose(s).faulty,
+        }
+        for name, run in algorithms.items():
+            syndrome = generate_syndrome(cube, faults, seed=5, full_table=True)
+            diagnosed, elapsed = timed(run, syndrome)
+            rows.append(
+                (
+                    f"Q_{n}",
+                    name,
+                    diagnosed == faults,
+                    syndrome.lookups,
+                    table,
+                    f"{100 * syndrome.lookups / table:.1f}%",
+                    f"{elapsed * 1e3:.1f}",
+                )
+            )
+    print(format_table(
+        ["network", "algorithm", "exact", "lookups", "full table", "table read", "ms"],
+        rows,
+        title="Section 6 comparison: identical syndromes, |F| = n faults",
+    ))
+    print("\nAll three are exact; the paper's algorithm reads a small fraction of the")
+    print("syndrome table, whereas the per-node extended-star rule reads most of it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Distributed self-diagnosis (the paper's further-research direction).
+
+The paper closes by arguing that the fault-free communication system of the
+multiprocessor should run the diagnosis itself, and that a distributed form of
+its algorithm beats a distributed form of Chiang & Tan's.  This example
+simulates both communication patterns on hypercubes of growing dimension:
+
+* the distributed ``Set_Builder`` flood (invitations + acceptances +
+  convergecast) started from the certified healthy root, and
+* the radius-3 gossip every node would need just to assemble its extended-star
+  test data before Chiang & Tan's local rule could run.
+
+Run with:  python examples/distributed_selfdiagnosis.py
+"""
+
+from __future__ import annotations
+
+from repro import GeneralDiagnoser, Hypercube, generate_syndrome, random_faults
+from repro.analysis import format_table
+from repro.distributed import DistributedSetBuilder, extended_star_gossip_cost
+
+
+def main() -> None:
+    rows = []
+    for n in (8, 9, 10, 11):
+        cube = Hypercube(n)
+        faults = random_faults(cube, n, seed=3)
+        syndrome = generate_syndrome(cube, faults, seed=3)
+        root = GeneralDiagnoser(cube).diagnose(syndrome).healthy_root
+
+        stats = DistributedSetBuilder(cube).run(syndrome, root)
+        gossip_rounds, gossip_messages = extended_star_gossip_cost(cube, radius=3)
+
+        rows.append(
+            (
+                f"Q_{n}",
+                stats.rounds,
+                stats.messages,
+                gossip_rounds,
+                gossip_messages,
+                f"{gossip_messages / stats.messages:.1f}x",
+                stats.faults_found == len(faults),
+            )
+        )
+    print(format_table(
+        ["network", "SB rounds", "SB messages", "gossip rounds", "gossip messages",
+         "message ratio", "faults found"],
+        rows,
+        title="Distributed Set_Builder vs extended-star data dissemination",
+    ))
+    print("\nRounds grow with the tree depth (≈ the diameter) rather than with N, and the")
+    print("message count stays well below the per-node extended-star dissemination cost —")
+    print("the qualitative claim of the paper's concluding section.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Operation accounting, analytical formulas and report utilities."""
+
+from .formulas import full_table_size, set_builder_lookup_bound, theorem_time_bound
+from .reporting import ScalingFit, fit_against_model, fit_power_law, format_table
+
+__all__ = [
+    "set_builder_lookup_bound",
+    "full_table_size",
+    "theorem_time_bound",
+    "format_table",
+    "ScalingFit",
+    "fit_power_law",
+    "fit_against_model",
+]

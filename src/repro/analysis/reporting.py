@@ -1,0 +1,83 @@
+"""Report formatting and scaling-fit helpers for the benchmark harness.
+
+The paper contains no measured tables, so the reproduction's "tables" are the
+per-experiment text reports emitted by the benchmark modules.  This module
+holds the shared formatting code (aligned text tables) and the least-squares
+scaling fits used to verify the shape of the complexity claims (e.g. that the
+measured time of experiment E1 grows like ``n·2^n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "ScalingFit", "fit_power_law", "fit_against_model"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *, title: str = "") -> str:
+    """Render an aligned plain-text table (used by benchmarks and the CLI)."""
+    columns = len(headers)
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != columns:
+            raise ValueError("row length does not match headers")
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in str_rows)) if str_rows else len(headers[c])
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[c]) for c, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[c] for c in range(columns)))
+    for row in str_rows:
+        lines.append("  ".join(row[c].ljust(widths[c]) for c in range(columns)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    return str(cell)
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """A least-squares fit of measurements against a model."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(sizes: Sequence[float], values: Sequence[float]) -> ScalingFit:
+    """Fit ``value ≈ c · size^a`` by linear regression in log–log space."""
+    x = np.log(np.asarray(sizes, dtype=float))
+    y = np.log(np.asarray(values, dtype=float))
+    if len(x) < 2:
+        raise ValueError("need at least two data points")
+    slope, intercept = np.polyfit(x, y, 1)
+    predictions = slope * x + intercept
+    ss_res = float(np.sum((y - predictions) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return ScalingFit(exponent=float(slope), coefficient=float(np.exp(intercept)),
+                      r_squared=r_squared)
+
+
+def fit_against_model(model_values: Sequence[float], measured: Sequence[float]) -> ScalingFit:
+    """Fit ``measured ≈ c · model^a``.
+
+    Verifying a complexity claim such as "time is ``O(n·2^n)``" amounts to
+    checking that the fitted exponent against the model quantity ``n·2^n`` is
+    close to (or below) 1.
+    """
+    return fit_power_law(model_values, measured)

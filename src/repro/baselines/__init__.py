@@ -1,0 +1,21 @@
+"""Comparator algorithms discussed in the paper's Sections 3 and 6."""
+
+from .exhaustive import AmbiguousSyndromeError, ExhaustiveDiagnoser
+from .extended_star import (
+    ExtendedStar,
+    ExtendedStarDiagnoser,
+    ExtendedStarResult,
+    build_extended_star,
+)
+from .yang_cycle import YangCycleDiagnoser, YangDiagnosisResult
+
+__all__ = [
+    "ExhaustiveDiagnoser",
+    "AmbiguousSyndromeError",
+    "YangCycleDiagnoser",
+    "YangDiagnosisResult",
+    "ExtendedStarDiagnoser",
+    "ExtendedStarResult",
+    "ExtendedStar",
+    "build_extended_star",
+]

@@ -1,0 +1,75 @@
+"""Exhaustive (ground-truth) fault diagnosis by consistency search.
+
+The MM model's definition of ``δ``-diagnosability (paper Section 2) is that a
+syndrome produced by at most ``δ`` faults is consistent with exactly one fault
+set of size at most ``δ``.  This baseline enumerates all candidate fault sets
+up to the given size and keeps the consistent ones.  It is exponential in the
+fault bound and is therefore only usable on small instances, where it serves
+as the ground truth against which every other algorithm (including the
+paper's) is validated, and as the reference implementation of the
+diagnosability definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.syndrome import Syndrome
+from ..core.verification import consistent_fault_sets
+from ..networks.base import InterconnectionNetwork
+
+__all__ = ["AmbiguousSyndromeError", "ExhaustiveDiagnoser"]
+
+
+class AmbiguousSyndromeError(RuntimeError):
+    """Raised when several fault sets of admissible size explain the syndrome.
+
+    By definition this cannot happen when the number of faults is at most the
+    diagnosability; it does happen when the bound is exceeded (e.g. the
+    minimum-degree argument of Section 2) and the error carries the competing
+    candidates so tests can inspect them.
+    """
+
+    def __init__(self, candidates: list[frozenset[int]]) -> None:
+        super().__init__(
+            f"{len(candidates)} fault sets are consistent with the syndrome"
+        )
+        self.candidates = candidates
+
+
+@dataclass
+class ExhaustiveDiagnoser:
+    """Ground-truth diagnoser: search all fault sets of size at most ``max_faults``.
+
+    Parameters
+    ----------
+    network:
+        The interconnection network.
+    max_faults:
+        Upper bound on the fault-set size (defaults to the network's
+        diagnosability).
+    """
+
+    network: InterconnectionNetwork
+    max_faults: int | None = None
+
+    def diagnose(self, syndrome: Syndrome) -> frozenset[int]:
+        """The unique consistent fault set of size at most ``max_faults``.
+
+        Raises
+        ------
+        AmbiguousSyndromeError
+            If more than one candidate is consistent.
+        ValueError
+            If no candidate is consistent (the syndrome was not produced by at
+            most ``max_faults`` faults under the MM model).
+        """
+        bound = self.max_faults
+        if bound is None:
+            bound = self.network.diagnosability()
+        candidates = consistent_fault_sets(self.network, syndrome, bound)
+        if not candidates:
+            raise ValueError("no fault set of admissible size is consistent with the syndrome")
+        if len(candidates) > 1:
+            raise AmbiguousSyndromeError(candidates)
+        return candidates[0]

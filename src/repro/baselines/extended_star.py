@@ -1,0 +1,240 @@
+"""Extended-star local diagnosis, in the spirit of Chiang & Tan [8].
+
+The paper's Section 3 describes Chiang & Tan's approach: every node ``x`` is
+diagnosed individually by examining only the tests performed inside an
+*extended star* rooted at ``x`` — a collection of node-disjoint branches
+hanging off ``x`` (the paper's Fig. 2) — giving an ``O(Δ·N)`` algorithm that,
+unlike the paper's, must consult essentially the whole syndrome table and
+must construct an extended star at every node.
+
+The precise decision rule of [8] is not part of the reproduced text, so this
+module implements a documented reconstruction (DESIGN.md §4.2) that keeps the
+two properties the paper's Section 6 comparison relies on — per-node local
+work bounded by ``O(Δ)`` branches of constant depth, and consultation of the
+full syndrome table — and is validated for output correctness against the
+exhaustive baseline and the injected fault sets:
+
+1. **Extended star construction** (:func:`build_extended_star`): greedily grow
+   up to ``deg(x)`` node-disjoint branches ``x – a – b – c – d``.
+2. **Local counting rule**: for each branch, the smallest number of faults on
+   the branch consistent with the observed tests is computed twice — under
+   the hypothesis "``x`` healthy" and under "``x`` faulty" (a 16-way
+   enumeration of the branch's health states).  Summing over branches gives a
+   lower bound on the total fault count implied by each hypothesis; a
+   hypothesis whose implied count exceeds the fault bound ``δ`` is refuted.
+   If exactly one hypothesis survives, ``x`` is labelled accordingly.
+3. **Propagation pass**: nodes whose local evidence is ambiguous are resolved
+   exactly as in the paper's own framework — a labelled-healthy tester with a
+   labelled-healthy co-witness diagnoses any third neighbour with a single
+   test.  Any node still unresolved is labelled faulty (it is separated from
+   the certified healthy region, which under the Theorem 1 hypotheses means
+   it lies in the fault set or in a healthy pocket already cut off by
+   faults).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from itertools import product
+
+from ..core.syndrome import Syndrome
+from ..networks.base import InterconnectionNetwork
+
+__all__ = ["ExtendedStar", "build_extended_star", "ExtendedStarResult", "ExtendedStarDiagnoser"]
+
+
+@dataclass(frozen=True)
+class ExtendedStar:
+    """An extended star rooted at ``root``: node-disjoint branches (paths)."""
+
+    root: int
+    branches: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_branches(self) -> int:
+        return len(self.branches)
+
+    def nodes(self) -> set[int]:
+        """All nodes of the structure (root included)."""
+        result = {self.root}
+        for branch in self.branches:
+            result.update(branch)
+        return result
+
+
+def build_extended_star(
+    network: InterconnectionNetwork, root: int, *, depth: int = 4
+) -> ExtendedStar:
+    """Greedily build an extended star of node-disjoint branches rooted at ``root``.
+
+    Each branch is a path of up to ``depth`` nodes starting at a distinct
+    neighbour of ``root``; branches share no node (other than the root).  The
+    construction is the computational step Chiang & Tan assume for free and
+    whose cost the paper points out (Section 3).
+    """
+    # The root and all its neighbours are reserved up front so that every
+    # neighbour can seed its own branch (one branch per dimension, as in the
+    # paper's Fig. 2) and no branch strays through another branch's seed.
+    used: set[int] = {root}
+    used.update(network.neighbors(root))
+    branches: list[tuple[int, ...]] = []
+    for first in sorted(network.neighbors(root)):
+        branch = [first]
+        current = first
+        while len(branch) < depth:
+            extension = next(
+                (v for v in sorted(network.neighbors(current)) if v not in used),
+                None,
+            )
+            if extension is None:
+                break
+            branch.append(extension)
+            used.add(extension)
+            current = extension
+        branches.append(tuple(branch))
+    return ExtendedStar(root=root, branches=tuple(branches))
+
+
+def _branch_tests(
+    network: InterconnectionNetwork, syndrome: Syndrome, root: int, branch: tuple[int, ...]
+) -> list[tuple[int, int, int, int]]:
+    """The chain tests along a branch: ``s_{p_i}(p_{i-1}, p_{i+1})`` with ``p_0 = root``.
+
+    Returns tuples ``(tester, left, right, result)``.
+    """
+    path = (root,) + branch
+    tests = []
+    for i in range(1, len(path) - 1):
+        tester, left, right = path[i], path[i - 1], path[i + 1]
+        tests.append((tester, left, right, syndrome.lookup(tester, left, right)))
+    return tests
+
+
+def _min_branch_faults(
+    branch: tuple[int, ...],
+    tests: list[tuple[int, int, int, int]],
+    root: int,
+    root_faulty: bool,
+) -> int:
+    """Minimum number of faults among the branch nodes consistent with the tests.
+
+    Enumerates the health states of the branch nodes (at most ``2^4``) and
+    keeps assignments in which every *healthy* tester's recorded result obeys
+    the MM rule given the root's hypothesised state.
+    """
+    best = len(branch) + 1
+    for assignment in product((False, True), repeat=len(branch)):
+        faulty = {node: state for node, state in zip(branch, assignment)}
+        faulty[root] = root_faulty
+
+        def is_faulty(node: int) -> bool:
+            return faulty[node]
+
+        consistent = True
+        for tester, left, right, result in tests:
+            if is_faulty(tester):
+                continue  # arbitrary result: no constraint
+            expected = 1 if (is_faulty(left) or is_faulty(right)) else 0
+            if result != expected:
+                consistent = False
+                break
+        if consistent:
+            best = min(best, sum(assignment))
+    return best
+
+
+@dataclass
+class ExtendedStarResult:
+    """Outcome of the extended-star diagnoser."""
+
+    faulty: frozenset[int]
+    healthy: frozenset[int]
+    locally_decided: int
+    propagated: int
+    defaulted: int
+    lookups: int
+
+
+class ExtendedStarDiagnoser:
+    """Per-node local diagnosis over extended stars (Chiang & Tan style)."""
+
+    def __init__(
+        self,
+        network: InterconnectionNetwork,
+        *,
+        max_faults: int | None = None,
+        branch_depth: int = 4,
+    ) -> None:
+        self.network = network
+        self.max_faults = network.diagnosability() if max_faults is None else int(max_faults)
+        self.branch_depth = branch_depth
+
+    # -------------------------------------------------------------- local rule
+    def classify_locally(self, syndrome: Syndrome, x: int) -> str:
+        """Local verdict for node ``x``: ``"healthy"``, ``"faulty"`` or ``"ambiguous"``."""
+        star = build_extended_star(self.network, x, depth=self.branch_depth)
+        cost_if_healthy = 0
+        cost_if_faulty = 1  # x itself
+        for branch in star.branches:
+            tests = _branch_tests(self.network, syndrome, x, branch)
+            cost_if_healthy += _min_branch_faults(branch, tests, x, root_faulty=False)
+            cost_if_faulty += _min_branch_faults(branch, tests, x, root_faulty=True)
+        healthy_feasible = cost_if_healthy <= self.max_faults
+        faulty_feasible = cost_if_faulty <= self.max_faults
+        if healthy_feasible and not faulty_feasible:
+            return "healthy"
+        if faulty_feasible and not healthy_feasible:
+            return "faulty"
+        return "ambiguous"
+
+    # ---------------------------------------------------------------- diagnosis
+    def diagnose(self, syndrome: Syndrome) -> ExtendedStarResult:
+        """Diagnose every node of the network."""
+        network = self.network
+        lookups_before = syndrome.lookups
+
+        healthy: set[int] = set()
+        faulty: set[int] = set()
+        ambiguous: set[int] = set()
+        for x in range(network.num_nodes):
+            verdict = self.classify_locally(syndrome, x)
+            if verdict == "healthy":
+                healthy.add(x)
+            elif verdict == "faulty":
+                faulty.add(x)
+            else:
+                ambiguous.add(x)
+        locally_decided = network.num_nodes - len(ambiguous)
+
+        # Propagation pass for the locally ambiguous nodes.
+        propagated = 0
+        queue = deque(sorted(healthy))
+        while queue:
+            y = queue.popleft()
+            witness = next((w for w in network.neighbors(y) if w in healthy), None)
+            if witness is None:
+                continue
+            for z in network.neighbors(y):
+                if z == witness or z not in ambiguous:
+                    continue
+                ambiguous.discard(z)
+                propagated += 1
+                if syndrome.lookup(y, z, witness) == 0:
+                    healthy.add(z)
+                    queue.append(z)
+                else:
+                    faulty.add(z)
+
+        # Whatever remains is unreachable from the certified healthy region.
+        defaulted = len(ambiguous)
+        faulty.update(ambiguous)
+
+        return ExtendedStarResult(
+            faulty=frozenset(faulty),
+            healthy=frozenset(healthy),
+            locally_decided=locally_decided,
+            propagated=propagated,
+            defaulted=defaulted,
+            lookups=syndrome.lookups - lookups_before,
+        )

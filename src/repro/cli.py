@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+Three sub-commands cover the common workflows:
+
+``repro-diagnose diagnose``
+    Inject a fault set into a chosen network, generate the MM-model syndrome
+    and run the paper's algorithm, printing the diagnosis and its cost.
+
+``repro-diagnose survey``
+    Run one diagnosis on every family of the paper's Section 5 and print a
+    summary table (a quick end-to-end health check of the reproduction).
+
+``repro-diagnose properties``
+    Print the structural properties (degree, diagnosability, connectivity)
+    of a chosen network instance and whether Theorem 1 applies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.reporting import format_table
+from .core.diagnosis import GeneralDiagnoser
+from .core.faults import clustered_faults, random_faults
+from .core.syndrome import generate_syndrome, syndrome_table_size
+from .networks.properties import verify_theorem1_preconditions
+from .networks.registry import FAMILIES, available_families, create_network
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_params(pairs: list[str]) -> dict[str, int]:
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise argparse.ArgumentTypeError(f"parameter {pair!r} must have the form name=value")
+        key, value = pair.split("=", 1)
+        params[key] = int(value)
+    return params
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro-diagnose`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-diagnose",
+        description="Fault diagnosis under the comparison (MM) model — Stewart (IPDPS 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    diag = sub.add_parser("diagnose", help="diagnose an injected fault set on one network")
+    diag.add_argument("--family", choices=available_families(), default="hypercube")
+    diag.add_argument("--param", action="append", default=[], metavar="NAME=VALUE",
+                      help="network constructor parameter (repeatable), e.g. dimension=10")
+    diag.add_argument("--faults", type=int, default=None,
+                      help="number of faults to inject (default: the diagnosability)")
+    diag.add_argument("--placement", choices=["random", "clustered"], default="random")
+    diag.add_argument("--behavior", default="random",
+                      choices=["random", "all_zero", "all_one", "mimic", "anti_mimic"],
+                      help="how faulty testers answer their comparison tests")
+    diag.add_argument("--seed", type=int, default=0)
+
+    survey = sub.add_parser("survey", help="diagnose one instance of every family")
+    survey.add_argument("--size", choices=["small", "medium"], default="small")
+    survey.add_argument("--seed", type=int, default=0)
+
+    props = sub.add_parser("properties", help="structural properties of one network")
+    props.add_argument("--family", choices=available_families(), default="hypercube")
+    props.add_argument("--param", action="append", default=[], metavar="NAME=VALUE")
+    props.add_argument("--exact-connectivity", action="store_true",
+                       help="compute the exact vertex connectivity (slow on large instances)")
+    return parser
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    params = _parse_params(args.param)
+    if not params:
+        params = dict(FAMILIES[args.family].small)
+    network = create_network(args.family, **params)
+    delta = network.diagnosability()
+    count = delta if args.faults is None else args.faults
+    if args.placement == "random":
+        faults = random_faults(network, count, seed=args.seed)
+    else:
+        faults = clustered_faults(network, count, seed=args.seed)
+    syndrome = generate_syndrome(network, faults, behavior=args.behavior, seed=args.seed)
+    result = GeneralDiagnoser(network).diagnose(syndrome)
+    correct = result.faulty == faults
+
+    print(f"network          : {args.family} {params} (N={network.num_nodes}, Δ={network.max_degree})")
+    print(f"diagnosability δ : {delta}")
+    print(f"injected faults  : {sorted(faults)}")
+    print(f"diagnosed faults : {sorted(result.faulty)}")
+    print(f"correct          : {correct}")
+    print(f"probes           : {result.num_probes}")
+    print(f"syndrome lookups : {result.lookups} (full table: {syndrome_table_size(network)})")
+    print(f"elapsed          : {result.elapsed_seconds * 1e3:.2f} ms")
+    return 0 if correct else 1
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    rows = []
+    exit_code = 0
+    for name, spec in sorted(FAMILIES.items()):
+        params = spec.small if args.size == "small" else spec.medium
+        network = spec.constructor(**params)
+        delta = network.diagnosability()
+        faults = random_faults(network, delta, seed=args.seed)
+        syndrome = generate_syndrome(network, faults, seed=args.seed)
+        result = GeneralDiagnoser(network).diagnose(syndrome)
+        correct = result.faulty == faults
+        if not correct:
+            exit_code = 1
+        rows.append((name, str(params), network.num_nodes, delta, correct,
+                     result.lookups, f"{result.elapsed_seconds * 1e3:.1f}"))
+    print(format_table(
+        ["family", "params", "N", "δ", "correct", "lookups", "ms"],
+        rows,
+        title=f"Survey of the paper's Section 5 families ({args.size} instances)",
+    ))
+    return exit_code
+
+
+def _cmd_properties(args: argparse.Namespace) -> int:
+    params = _parse_params(args.param)
+    if not params:
+        params = dict(FAMILIES[args.family].small)
+    network = create_network(args.family, **params)
+    report = verify_theorem1_preconditions(network, compute_connectivity=args.exact_connectivity)
+    print(format_table(
+        ["family", "N", "degree", "regular", "δ", "κ (claimed)", "κ (measured)", "Theorem 1 applies"],
+        [report.as_row()],
+        title=f"Structural properties of {args.family} {params}",
+    ))
+    print(f"full syndrome table size: {syndrome_table_size(network)} entries")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
+    if args.command == "survey":
+        return _cmd_survey(args)
+    if args.command == "properties":
+        return _cmd_properties(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,248 @@
+"""Syndromes under the comparison (MM) diagnosis model.
+
+Under the MM model (paper Section 2) every node ``u`` tests every unordered
+pair ``{v, w}`` of its neighbours and records a result ``s_u(v, w) ∈ {0, 1}``:
+
+* if ``u`` is healthy, ``s_u(v, w) = 0`` iff **both** ``v`` and ``w`` are
+  healthy (a faulty node always produces an incorrect response and two faulty
+  nodes never produce identical responses, so any faulty neighbour forces a
+  ``1``);
+* if ``u`` is faulty the result is arbitrary.
+
+The set of all results is the *syndrome*.  Two realisations are provided:
+
+:class:`TableSyndrome`
+    The complete syndrome stored as a table — this models the paper's setting
+    in which "the syndrome has already been obtained" and makes the size of
+    the full table explicit (experiment E5 compares the number of entries the
+    algorithm reads against this size).
+
+:class:`LazySyndrome`
+    Test results are produced on demand from the hidden fault set (with a
+    seeded generator for the arbitrary results of faulty testers) and cached
+    so repeated queries are consistent.  This realisation mirrors the paper's
+    observation (Section 6) that the algorithm can avoid performing or
+    consulting most tests.
+
+Both count every lookup, which is the basis of the Section 6 cost comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..networks.base import InterconnectionNetwork
+
+__all__ = [
+    "FaultyTesterBehavior",
+    "Syndrome",
+    "TableSyndrome",
+    "LazySyndrome",
+    "generate_syndrome",
+    "syndrome_table_size",
+]
+
+
+class FaultyTesterBehavior:
+    """How a *faulty* tester answers its comparison tests.
+
+    The MM model leaves these results completely arbitrary; a diagnosis
+    algorithm must be correct whichever values they take.  The built-in
+    behaviours cover the interesting corners:
+
+    ``"random"``
+        Independent fair coin per test (seeded).
+    ``"all_zero"``
+        The faulty tester always claims its neighbours agree — the most
+        misleading behaviour for algorithms that trust 0-results.
+    ``"all_one"``
+        The faulty tester always reports disagreement.
+    ``"mimic"``
+        The faulty tester answers exactly as a healthy node would — the
+        hardest case for algorithms that try to identify faulty testers by
+        inconsistent answers.
+    ``"anti_mimic"``
+        The faulty tester answers the complement of the healthy answer.
+    """
+
+    NAMES = ("random", "all_zero", "all_one", "mimic", "anti_mimic")
+
+    def __init__(self, name: str = "random", *, seed: int | None = 0) -> None:
+        if name not in self.NAMES:
+            raise ValueError(f"unknown faulty-tester behaviour {name!r}; choose from {self.NAMES}")
+        self.name = name
+        self.seed = seed
+
+    def result(self, u: int, v: int, w: int, healthy_result: int, rng: random.Random) -> int:
+        """Result reported by faulty tester ``u`` for the pair ``{v, w}``."""
+        if self.name == "random":
+            return rng.randint(0, 1)
+        if self.name == "all_zero":
+            return 0
+        if self.name == "all_one":
+            return 1
+        if self.name == "mimic":
+            return healthy_result
+        return 1 - healthy_result  # anti_mimic
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FaultyTesterBehavior({self.name!r})"
+
+
+def _canonical(u: int, v: int, w: int) -> tuple[int, int, int]:
+    """Canonical key for the unordered test ``s_u(v, w)``."""
+    return (u, v, w) if v <= w else (u, w, v)
+
+
+class Syndrome(ABC):
+    """Abstract syndrome: a read-only oracle for ``s_u(v, w)`` with lookup counting."""
+
+    def __init__(self) -> None:
+        self.lookups = 0
+
+    @abstractmethod
+    def _result(self, u: int, v: int, w: int) -> int:
+        """Raw result for the canonical key (no counting)."""
+
+    def lookup(self, u: int, v: int, w: int) -> int:
+        """The test result ``s_u(v, w)`` (0 or 1).  Order of ``v, w`` is irrelevant."""
+        if v == w:
+            raise ValueError("a comparison test needs two distinct neighbours")
+        self.lookups += 1
+        return self._result(*_canonical(u, v, w))
+
+    def reset_lookups(self) -> None:
+        """Reset the lookup counter (used between benchmark phases)."""
+        self.lookups = 0
+
+    # Convenience alias matching the paper's notation.
+    def s(self, u: int, v: int, w: int) -> int:
+        """Alias of :meth:`lookup` mirroring the paper's ``s_u(v, w)`` notation."""
+        return self.lookup(u, v, w)
+
+
+class TableSyndrome(Syndrome):
+    """A fully materialised syndrome table."""
+
+    def __init__(self, table: Mapping[tuple[int, int, int], int]) -> None:
+        super().__init__()
+        self._table = {
+            _canonical(*key): int(value) for key, value in table.items()
+        }
+
+    def _result(self, u: int, v: int, w: int) -> int:
+        return self._table[(u, v, w)]
+
+    def __len__(self) -> int:
+        """Number of entries in the full table."""
+        return len(self._table)
+
+    def items(self) -> Iterator[tuple[tuple[int, int, int], int]]:
+        """Iterate ``((u, v, w), result)`` pairs (used by baselines that scan the table)."""
+        return iter(self._table.items())
+
+    def with_overrides(
+        self, overrides: Mapping[tuple[int, int, int], int]
+    ) -> "TableSyndrome":
+        """A copy of the table with some entries replaced (used by tests)."""
+        table = dict(self._table)
+        for key, value in overrides.items():
+            table[_canonical(*key)] = int(value)
+        return TableSyndrome(table)
+
+
+class LazySyndrome(Syndrome):
+    """A syndrome computed on demand from a hidden fault set.
+
+    Results are cached so that repeated lookups of the same test are
+    consistent (the MM model's arbitrary results are arbitrary but fixed for a
+    given syndrome).
+    """
+
+    def __init__(
+        self,
+        network: InterconnectionNetwork,
+        faults: Iterable[int],
+        *,
+        behavior: FaultyTesterBehavior | str = "random",
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__()
+        self.network = network
+        self.faults = frozenset(int(f) for f in faults)
+        for f in self.faults:
+            if not 0 <= f < network.num_nodes:
+                raise ValueError(f"fault {f} is not a node of the network")
+        if isinstance(behavior, str):
+            behavior = FaultyTesterBehavior(behavior, seed=seed)
+        self.behavior = behavior
+        self._rng = random.Random(seed)
+        self._cache: dict[tuple[int, int, int], int] = {}
+
+    def _healthy_result(self, v: int, w: int) -> int:
+        return 1 if (v in self.faults or w in self.faults) else 0
+
+    def _result(self, u: int, v: int, w: int) -> int:
+        key = (u, v, w)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        healthy = self._healthy_result(v, w)
+        if u in self.faults:
+            value = self.behavior.result(u, v, w, healthy, self._rng)
+        else:
+            value = healthy
+        self._cache[key] = value
+        return value
+
+    def materialize(self) -> TableSyndrome:
+        """Materialise the complete syndrome table for this fault set."""
+        table: dict[tuple[int, int, int], int] = {}
+        network = self.network
+        for u in range(network.num_nodes):
+            neighbors = sorted(network.neighbors(u))
+            for i, v in enumerate(neighbors):
+                for w in neighbors[i + 1 :]:
+                    table[(u, v, w)] = self._result(u, v, w)
+        return TableSyndrome(table)
+
+
+def syndrome_table_size(network: InterconnectionNetwork) -> int:
+    """Number of entries in the complete syndrome table: ``Σ_u C(deg(u), 2)``."""
+    total = 0
+    for u in range(network.num_nodes):
+        d = network.degree(u)
+        total += d * (d - 1) // 2
+    return total
+
+
+def generate_syndrome(
+    network: InterconnectionNetwork,
+    faults: Iterable[int],
+    *,
+    behavior: FaultyTesterBehavior | str = "random",
+    seed: int | None = 0,
+    full_table: bool = False,
+) -> Syndrome:
+    """Generate a syndrome for a fault set under the MM model.
+
+    Parameters
+    ----------
+    network:
+        The interconnection network.
+    faults:
+        The hidden fault set ``F``.
+    behavior:
+        How faulty testers answer (see :class:`FaultyTesterBehavior`).
+    seed:
+        Seed for the arbitrary results of faulty testers.
+    full_table:
+        If True, the whole syndrome table is materialised up front
+        (:class:`TableSyndrome`); otherwise results are produced lazily.
+    """
+    lazy = LazySyndrome(network, faults, behavior=behavior, seed=seed)
+    if full_table:
+        return lazy.materialize()
+    return lazy

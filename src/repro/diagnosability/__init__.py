@@ -1,0 +1,19 @@
+"""Diagnosability theory: bounds, sufficient conditions and exact search."""
+
+from .bounds import (
+    ChangConditionReport,
+    chang_condition,
+    indistinguishable_witness,
+    min_degree_upper_bound,
+)
+from .search import are_indistinguishable, exact_diagnosability, is_t_diagnosable
+
+__all__ = [
+    "min_degree_upper_bound",
+    "indistinguishable_witness",
+    "chang_condition",
+    "ChangConditionReport",
+    "are_indistinguishable",
+    "is_t_diagnosable",
+    "exact_diagnosability",
+]

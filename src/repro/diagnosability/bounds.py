@@ -1,0 +1,87 @@
+"""Diagnosability bounds and sufficient conditions (paper Sections 2–3).
+
+Three results from the paper and its references are made executable here:
+
+* the **minimum-degree upper bound** (Section 2): the diagnosability of any
+  graph is at most its minimum degree, because the neighbourhood ``N(u)`` of a
+  minimum-degree node and ``N(u) ∪ {u}`` are indistinguishable fault sets;
+* the **Chang–Lai–Tan–Hsu sufficient condition** [6]: a graph that is regular
+  of degree ``n``, has connectivity ``n`` and has at least ``2n + 3`` nodes
+  has diagnosability exactly ``n`` under the MM model;
+* the **witness construction** for the upper bound, which produces the two
+  indistinguishable fault sets explicitly (used by tests and by experiment
+  E7 to show non-diagnosability just above the bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..networks.base import InterconnectionNetwork
+
+__all__ = [
+    "min_degree_upper_bound",
+    "indistinguishable_witness",
+    "chang_condition",
+    "ChangConditionReport",
+]
+
+
+def min_degree_upper_bound(network: InterconnectionNetwork) -> int:
+    """Upper bound on the diagnosability: the minimum degree of the graph."""
+    return network.min_degree
+
+
+def indistinguishable_witness(
+    network: InterconnectionNetwork, center: int | None = None
+) -> tuple[frozenset[int], frozenset[int]]:
+    """Two indistinguishable fault sets realising the minimum-degree bound.
+
+    Following the paper's Section 2 argument: for a node ``u`` of minimum
+    degree, the sets ``N(u)`` and ``N(u) ∪ {u}`` admit a common syndrome, so
+    the graph is not ``(deg(u) + 1)``-diagnosable.
+    """
+    if center is None:
+        center = min(range(network.num_nodes), key=network.degree)
+    neighborhood = frozenset(network.neighbors(center))
+    return neighborhood, neighborhood | {center}
+
+
+@dataclass(frozen=True)
+class ChangConditionReport:
+    """Outcome of checking the Chang et al. [6] sufficient condition."""
+
+    regular: bool
+    degree: int
+    connectivity: int
+    num_nodes: int
+    applies: bool
+    implied_diagnosability: int | None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.applies
+
+
+def chang_condition(
+    network: InterconnectionNetwork, *, connectivity: int | None = None
+) -> ChangConditionReport:
+    """Check the hypotheses of Chang, Lai, Tan & Hsu [6] on a concrete instance.
+
+    The theorem: if a graph is regular of degree ``n``, has connectivity ``n``
+    and has at least ``2n + 3`` nodes, its MM-model diagnosability is ``n``.
+    ``connectivity`` may be supplied (e.g. the exact value computed by
+    networkx); otherwise the network's theoretical value is used.
+    """
+    degrees = {network.degree(v) for v in range(network.num_nodes)}
+    regular = len(degrees) == 1
+    degree = next(iter(degrees)) if regular else max(degrees)
+    kappa = network.connectivity() if connectivity is None else connectivity
+    applies = regular and kappa == degree and network.num_nodes >= 2 * degree + 3
+    return ChangConditionReport(
+        regular=regular,
+        degree=degree,
+        connectivity=kappa,
+        num_nodes=network.num_nodes,
+        applies=applies,
+        implied_diagnosability=degree if applies else None,
+    )

@@ -1,0 +1,78 @@
+"""Exact diagnosability of small graphs by exhaustive distinguishability search.
+
+Under the MM model two fault sets ``F1`` and ``F2`` are *indistinguishable*
+iff some syndrome is consistent with both.  Because the results of faulty
+testers are unconstrained, this reduces to a purely combinatorial condition:
+``F1`` and ``F2`` are indistinguishable iff for every node ``u ∉ F1 ∪ F2`` and
+every pair ``{v, w}`` of ``u``'s neighbours,
+
+    ``(v ∈ F1 or w ∈ F1)  ==  (v ∈ F2 or w ∈ F2)``.
+
+A graph is ``t``-diagnosable iff no two *distinct* fault sets of size at most
+``t`` are indistinguishable.  The functions below implement this definition
+directly; they are exponential and intended for the small instances used by
+the tests and by experiment E7 to validate the theoretical diagnosability
+values the paper quotes.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..networks.base import InterconnectionNetwork
+
+__all__ = ["are_indistinguishable", "is_t_diagnosable", "exact_diagnosability"]
+
+
+def are_indistinguishable(
+    network: InterconnectionNetwork,
+    set1: frozenset[int] | set[int],
+    set2: frozenset[int] | set[int],
+) -> bool:
+    """Whether the two fault sets admit a common syndrome under the MM model."""
+    f1 = frozenset(set1)
+    f2 = frozenset(set2)
+    if f1 == f2:
+        return True
+    union = f1 | f2
+    for u in range(network.num_nodes):
+        if u in union:
+            continue
+        neighbors = sorted(network.neighbors(u))
+        for v, w in combinations(neighbors, 2):
+            in1 = v in f1 or w in f1
+            in2 = v in f2 or w in f2
+            if in1 != in2:
+                return False
+    return True
+
+
+def is_t_diagnosable(network: InterconnectionNetwork, t: int) -> bool:
+    """Whether the graph is ``t``-diagnosable (exhaustive; small graphs only)."""
+    nodes = range(network.num_nodes)
+    candidates: list[frozenset[int]] = []
+    for size in range(t + 1):
+        candidates.extend(frozenset(c) for c in combinations(nodes, size))
+    for i, f1 in enumerate(candidates):
+        for f2 in candidates[i + 1 :]:
+            if are_indistinguishable(network, f1, f2):
+                return False
+    return True
+
+
+def exact_diagnosability(network: InterconnectionNetwork, *, upper_limit: int | None = None) -> int:
+    """The largest ``t`` for which the graph is ``t``-diagnosable.
+
+    ``upper_limit`` caps the search (defaults to the minimum degree, which is
+    an upper bound on the diagnosability).  Exponential; use only on small
+    graphs.
+    """
+    if upper_limit is None:
+        upper_limit = network.min_degree
+    best = 0
+    for t in range(1, upper_limit + 1):
+        if is_t_diagnosable(network, t):
+            best = t
+        else:
+            break
+    return best

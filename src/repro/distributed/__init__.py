@@ -1,0 +1,5 @@
+"""Distributed self-diagnosis simulation (the paper's further-research direction)."""
+
+from .simulator import DistributedRunStats, DistributedSetBuilder, extended_star_gossip_cost
+
+__all__ = ["DistributedSetBuilder", "DistributedRunStats", "extended_star_gossip_cost"]

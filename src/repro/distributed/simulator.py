@@ -1,0 +1,142 @@
+"""Round-based simulation of distributed self-diagnosis.
+
+The paper's concluding section argues that the discovery of the faulty nodes
+should itself be performed by the (fault-free) communication system of the
+multiprocessor, and reports that a distributed implementation of the paper's
+algorithm in hypercubes beats a distributed implementation of Chiang & Tan's.
+This module provides the substrate for that claim (experiment E9): a
+synchronous message-passing simulator in which
+
+* every node initially holds only its *local* test results
+  ``s_u(v, w)`` for its own neighbour pairs (obtaining them costs no
+  communication rounds — they are the syndrome);
+* the communication network is fault-free and synchronous: in each round a
+  node may send one message to each neighbour (the paper's assumption that
+  links and the communication system are reliable);
+* the paper's algorithm is run in its natural distributed form: the start
+  node ``u0`` floods invitations along 0-tests, each invited node joins the
+  tree and continues the flood, and contributor counts are aggregated up the
+  tree (a convergecast) so the root learns when the certificate fires.
+
+The simulator counts rounds and messages.  The comparison point for Chiang &
+Tan's algorithm is the cost of assembling the data their per-node rule needs:
+every node must learn the test results of its extended star, which requires
+each node to disseminate its local results over a fixed radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.set_builder import set_builder
+from ..core.syndrome import Syndrome
+from ..networks.base import InterconnectionNetwork
+
+__all__ = ["DistributedRunStats", "DistributedSetBuilder", "extended_star_gossip_cost"]
+
+
+@dataclass(frozen=True)
+class DistributedRunStats:
+    """Communication cost of one distributed diagnosis run."""
+
+    rounds: int
+    messages: int
+    tree_size: int
+    tree_depth: int
+    faults_found: int
+
+    def as_row(self) -> tuple:
+        return (self.rounds, self.messages, self.tree_size, self.tree_depth, self.faults_found)
+
+
+class DistributedSetBuilder:
+    """Distributed execution of the paper's algorithm from a known-healthy root.
+
+    The simulation mirrors the message flow of a distributed ``Set_Builder``:
+
+    * **round 2·i** — every node that joined the tree in the previous round
+      ("the frontier") sends an *invitation* to each neighbour whose test
+      against the sender's parent returned 0 (one message per invited
+      neighbour) and a *rejection notice* is implicit (no message);
+    * **round 2·i + 1** — invited nodes that are not yet in the tree send an
+      *acceptance* back to the chosen parent (one message each);
+    * when growth stops, the contributor count and the identity of the
+      boundary (the diagnosed faults) are aggregated to the root by a
+      convergecast along the tree (``depth`` rounds, one message per tree
+      edge).
+
+    The per-round and per-message accounting therefore depends only on the
+    final tree, which the simulator obtains by running the sequential
+    ``Set_Builder`` on the same syndrome — the distributed protocol explores
+    exactly the same sets ``U_i`` because membership decisions depend only on
+    local test results.
+    """
+
+    def __init__(self, network: InterconnectionNetwork, *, diagnosability: int | None = None):
+        self.network = network
+        self.delta = network.diagnosability() if diagnosability is None else int(diagnosability)
+
+    def run(self, syndrome: Syndrome, root: int) -> DistributedRunStats:
+        """Simulate the distributed growth + convergecast from ``root``."""
+        result = set_builder(self.network, syndrome, root, diagnosability=self.delta)
+
+        # Depth of the tree = number of growth phases.
+        depth = 0
+        for node in result.nodes:
+            depth = max(depth, result.depth_of(node))
+
+        # Invitations: every node u in the tree sends, while on the frontier,
+        # one message to each neighbour it invites (0-test against t(u)); in
+        # the worst case it probes all its neighbours, but only invitations
+        # are transmitted.  Acceptances: one per tree edge.
+        invitations = 0
+        for child, parent in result.parent.items():
+            invitations += 1  # the successful invitation parent -> child
+        # Unsuccessful invitations: parent sends to a neighbour that is
+        # already in the tree or whose test returned 0 via another parent; we
+        # charge one message per (tree node, neighbour in U_r) pair beyond the
+        # tree edges, which upper-bounds duplicate invitations.
+        duplicate_invitations = 0
+        for node in result.nodes:
+            for nb in self.network.neighbors(node):
+                if nb in result.nodes and result.parent.get(nb) != node and \
+                        result.parent.get(node) != nb:
+                    duplicate_invitations += 1
+        duplicate_invitations //= 2
+
+        acceptances = len(result.parent)
+        convergecast = len(result.parent)  # one message per tree edge
+        messages = invitations + duplicate_invitations + acceptances + convergecast
+
+        # Two rounds per growth phase plus the convergecast (depth rounds).
+        rounds = 2 * max(result.rounds, 1) + depth
+
+        boundary = set()
+        for u in result.nodes:
+            for v in self.network.neighbors(u):
+                if v not in result.nodes:
+                    boundary.add(v)
+
+        return DistributedRunStats(
+            rounds=rounds,
+            messages=messages,
+            tree_size=len(result.nodes),
+            tree_depth=depth,
+            faults_found=len(boundary),
+        )
+
+
+def extended_star_gossip_cost(
+    network: InterconnectionNetwork, *, radius: int = 3
+) -> tuple[int, int]:
+    """Rounds and messages for every node to learn its radius-``r`` neighbourhood's tests.
+
+    This is the communication lower bound for running Chiang & Tan's per-node
+    rule distributively: each node's extended star spans a fixed radius, so
+    every node's local test results must be flooded ``radius`` hops.  With
+    synchronous one-message-per-link-per-round communication this takes
+    ``radius`` rounds and ``radius · |E| · 2`` messages (every edge carries a
+    payload in both directions in every round of the flood).
+    """
+    edges = network.num_edges()
+    return radius, 2 * radius * edges

@@ -1,0 +1,5 @@
+"""Experiment runners regenerating every table of EXPERIMENTS.md."""
+
+from .runners import EXPERIMENTS, ExperimentReport, run_all, run_experiment
+
+__all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]

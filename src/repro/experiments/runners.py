@@ -1,0 +1,411 @@
+"""Experiment runners: regenerate every table of EXPERIMENTS.md programmatically.
+
+Each function reproduces one experiment of DESIGN.md §5 (E1–E9) at laptop
+scale and returns a formatted text table plus the raw rows.  The
+``pytest-benchmark`` modules under ``benchmarks/`` measure the same quantities
+with statistical rigour; these runners exist so that
+
+* ``python -m repro.experiments`` (or ``repro-diagnose`` users) can regenerate
+  the EXPERIMENTS.md tables in one command without pytest, and
+* the test suite can assert the *claims* behind every experiment cheaply.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..analysis import (
+    fit_against_model,
+    format_table,
+    full_table_size,
+    set_builder_lookup_bound,
+)
+from ..baselines import ExtendedStarDiagnoser, YangCycleDiagnoser
+from ..core.diagnosis import GeneralDiagnoser
+from ..core.faults import clustered_faults, random_faults
+from ..core.partitions import class_certifies_when_fault_free, minimal_certifying_level
+from ..core.set_builder import set_builder
+from ..core.syndrome import generate_syndrome
+from ..diagnosability import chang_condition, exact_diagnosability, min_degree_upper_bound
+from ..distributed import DistributedSetBuilder, extended_star_gossip_cost
+from ..networks import Hypercube
+from ..networks.registry import FAMILIES, create_network
+from ..workloads.sweeps import cube_variant_sweep, kary_sweep, permutation_sweep
+
+__all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]
+
+
+@dataclass
+class ExperimentReport:
+    """Outcome of one experiment runner."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[tuple]
+    claims_verified: bool
+    notes: str = ""
+    elapsed_seconds: float = 0.0
+
+    def to_text(self) -> str:
+        table = format_table(self.headers, self.rows, title=f"{self.experiment}: {self.title}")
+        status = "all claims verified" if self.claims_verified else "CLAIM VIOLATION"
+        footer = f"[{status}] ({self.elapsed_seconds:.1f}s)"
+        if self.notes:
+            footer += f"\n{self.notes}"
+        return f"{table}\n{footer}"
+
+    def to_markdown(self) -> str:
+        """The table in GitHub-flavoured markdown (used to refresh EXPERIMENTS.md)."""
+        head = "| " + " | ".join(self.headers) + " |"
+        sep = "| " + " | ".join("---" for _ in self.headers) + " |"
+        body = [
+            "| " + " | ".join(_md_cell(c) for c in row) + " |"
+            for row in self.rows
+        ]
+        return "\n".join([head, sep, *body])
+
+
+def _md_cell(cell) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def _timed(fn: Callable[[], tuple]) -> tuple:
+    start = time.perf_counter()
+    result = fn()
+    return result + (time.perf_counter() - start,)
+
+
+# --------------------------------------------------------------------------- E1
+def run_e1(*, dimensions: tuple[int, ...] = (7, 8, 9, 10, 11), seed: int = 0) -> ExperimentReport:
+    """E1 (Theorem 2): exactness and O(n·2^n) scaling on hypercubes."""
+    start = time.perf_counter()
+    rows = []
+    models, times = [], []
+    all_exact = True
+    for n in dimensions:
+        cube = Hypercube(n)
+        faults = random_faults(cube, n, seed=seed + n)
+        syndrome = generate_syndrome(cube, faults, seed=seed + n, full_table=True)
+        diagnoser = GeneralDiagnoser(cube)
+        t0 = time.perf_counter()
+        result = diagnoser.diagnose(syndrome)
+        elapsed = time.perf_counter() - t0
+        exact = result.faulty == faults
+        all_exact &= exact
+        models.append(n * 2**n)
+        times.append(elapsed)
+        rows.append((f"Q_{n}", cube.num_nodes, n, exact, result.lookups,
+                     round(elapsed * 1e3, 2)))
+    fit = fit_against_model(models, times)
+    claims = all_exact and fit.exponent <= 1.35
+    return ExperimentReport(
+        "E1",
+        "hypercube diagnosis, |F| = n (Theorem 2)",
+        ["network", "N", "faults", "exact", "lookups", "time (ms)"],
+        rows,
+        claims,
+        notes=(
+            f"time vs the paper's n·2^n model: fitted exponent {fit.exponent:.2f} "
+            f"(R^2 = {fit.r_squared:.3f}); exponent ≈ 1 means the measured scaling "
+            "matches O(n·2^n)."
+        ),
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+# --------------------------------------------------------------------------- E2
+def run_e2(*, seed: int = 2) -> ExperimentReport:
+    """E2 (Theorem 3): the hypercube variants."""
+    start = time.perf_counter()
+    rows = []
+    all_exact = True
+    for point in cube_variant_sweep(seed=seed):
+        network = point.network
+        for scenario in point.scenarios:
+            syndrome = generate_syndrome(network, scenario.faults, seed=seed, full_table=True)
+            t0 = time.perf_counter()
+            result = GeneralDiagnoser(network).diagnose(syndrome)
+            elapsed = time.perf_counter() - t0
+            exact = result.faulty == scenario.faults
+            all_exact &= exact
+            rows.append((point.label, scenario.name, network.num_nodes,
+                         network.diagnosability(), exact, result.lookups,
+                         round(elapsed * 1e3, 2)))
+    return ExperimentReport(
+        "E2",
+        "hypercube variants, |F| = δ (Theorem 3)",
+        ["variant", "scenario", "N", "δ", "exact", "lookups", "time (ms)"],
+        rows,
+        all_exact,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+# --------------------------------------------------------------------------- E3
+def run_e3(*, seed: int = 5) -> ExperimentReport:
+    """E3 (Theorem 4): k-ary n-cubes and augmented k-ary n-cubes."""
+    start = time.perf_counter()
+    rows = []
+    all_exact = True
+    for point in kary_sweep(seed=seed):
+        network = point.network
+        scenario = point.scenarios[0]
+        syndrome = generate_syndrome(network, scenario.faults, seed=seed, full_table=True)
+        t0 = time.perf_counter()
+        result = GeneralDiagnoser(network).diagnose(syndrome)
+        elapsed = time.perf_counter() - t0
+        exact = result.faulty == scenario.faults
+        all_exact &= exact
+        rows.append((point.label, network.num_nodes, network.diagnosability(), exact,
+                     result.lookups, round(elapsed * 1e3, 2)))
+    return ExperimentReport(
+        "E3",
+        "k-ary n-cubes and augmented k-ary n-cubes, |F| = δ (Theorem 4)",
+        ["instance", "N", "δ", "exact", "lookups", "time (ms)"],
+        rows,
+        all_exact,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+# --------------------------------------------------------------------------- E4
+def run_e4(*, seed: int = 7) -> ExperimentReport:
+    """E4 (Theorems 5–7): permutation-based families."""
+    start = time.perf_counter()
+    rows = []
+    all_exact = True
+    for point in permutation_sweep(seed=seed):
+        network = point.network
+        scenario = point.scenarios[0]
+        syndrome = generate_syndrome(network, scenario.faults, seed=seed, full_table=True)
+        t0 = time.perf_counter()
+        result = GeneralDiagnoser(network).diagnose(syndrome)
+        elapsed = time.perf_counter() - t0
+        exact = result.faulty == scenario.faults
+        all_exact &= exact
+        fallback = result.partition_level is None
+        rows.append((point.label, network.num_nodes, network.diagnosability(), exact,
+                     fallback, result.lookups, round(elapsed * 1e3, 2)))
+    return ExperimentReport(
+        "E4",
+        "(n,k)-stars, stars, pancakes, arrangement graphs, |F| = δ (Theorems 5-7)",
+        ["instance", "N", "δ", "exact", "fallback probing", "lookups", "time (ms)"],
+        rows,
+        all_exact,
+        notes=("'fallback probing' = the driver could not rely on the paper's class "
+               "counting (notably the arrangement graphs, where k(n-k)+1 classes of "
+               "sufficient size do not exist) and used budgeted unrestricted probes "
+               "instead; exactness is unaffected."),
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+# --------------------------------------------------------------------------- E5
+def run_e5(*, seed: int = 13) -> ExperimentReport:
+    """E5 (Sections 4.2/6): syndrome-lookup accounting for the final run."""
+    start = time.perf_counter()
+    instances = {
+        "Q_10": ("hypercube", {"dimension": 10}),
+        "CQ_10": ("crossed_cube", {"dimension": 10}),
+        "AQ_9": ("augmented_cube", {"dimension": 9}),
+        "Q^8_3": ("kary_ncube", {"n": 3, "k": 8}),
+        "S_7": ("star", {"n": 7}),
+        "P_7": ("pancake", {"n": 7}),
+    }
+    rows = []
+    claims = True
+    for label, (family, params) in instances.items():
+        network = create_network(family, **params)
+        delta = network.diagnosability()
+        faults = random_faults(network, delta, seed=seed)
+        syndrome = generate_syndrome(network, faults, seed=seed, full_table=True)
+        root = next(v for v in range(network.num_nodes) if v not in faults)
+        syndrome.reset_lookups()
+        result = set_builder(network, syndrome, root, diagnosability=delta)
+        bound = set_builder_lookup_bound(network.max_degree, result.size)
+        root_tests = network.max_degree * (network.max_degree - 1) / 2
+        table = full_table_size(network)
+        within_bound = result.lookups <= bound + root_tests
+        far_below_table = result.lookups < table / 2
+        claims &= within_bound and far_below_table
+        rows.append((label, result.lookups, int(bound), table,
+                     f"{100 * result.lookups / table:.1f}%", within_bound))
+    return ExperimentReport(
+        "E5",
+        "Set_Builder lookup accounting vs the (Δ-1)(Δ/2+|U_r|-1) bound and the full table",
+        ["instance", "lookups", "Section 6 bound", "full table", "fraction of table",
+         "within bound"],
+        rows,
+        claims,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+# --------------------------------------------------------------------------- E6
+def run_e6(*, dimensions: tuple[int, ...] = (8, 9, 10), seed: int = 17) -> ExperimentReport:
+    """E6 (Sections 3/6): Stewart vs Yang vs extended-star on identical syndromes."""
+    start = time.perf_counter()
+    rows = []
+    claims = True
+    for n in dimensions:
+        cube = Hypercube(n)
+        faults = random_faults(cube, n, seed=seed)
+        table = full_table_size(cube)
+        measurements = {}
+        for name, factory in (
+            ("stewart", lambda: GeneralDiagnoser(cube)),
+            ("yang", lambda: YangCycleDiagnoser(cube)),
+            ("extended_star", lambda: ExtendedStarDiagnoser(cube)),
+        ):
+            syndrome = generate_syndrome(cube, faults, seed=seed, full_table=True)
+            algorithm = factory()
+            t0 = time.perf_counter()
+            output = algorithm.diagnose(syndrome)
+            elapsed = time.perf_counter() - t0
+            measurements[name] = (output.faulty == faults, syndrome.lookups, elapsed)
+            rows.append((f"Q_{n}", name, output.faulty == faults, syndrome.lookups,
+                         f"{100 * syndrome.lookups / table:.1f}%",
+                         round(elapsed * 1e3, 2)))
+        stewart_exact, stewart_lookups, _ = measurements["stewart"]
+        extended_exact, extended_lookups, _ = measurements["extended_star"]
+        claims &= stewart_exact and extended_exact and measurements["yang"][0]
+        claims &= stewart_lookups * 2 < extended_lookups
+    return ExperimentReport(
+        "E6",
+        "algorithm comparison on identical hypercube syndromes, |F| = n",
+        ["network", "algorithm", "exact", "lookups", "table read", "time (ms)"],
+        rows,
+        claims,
+        notes=("Claim checked: every algorithm is exact and the paper's algorithm reads "
+               "well under half the entries the extended-star comparator reads."),
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+# --------------------------------------------------------------------------- E7
+def run_e7(*, families: tuple[str, ...] = ("hypercube", "crossed_cube", "folded_hypercube",
+                                           "augmented_cube", "kary_ncube", "star",
+                                           "pancake", "nk_star", "arrangement")
+           ) -> ExperimentReport:
+    """E7: diagnosability bounds (min-degree bound, Chang et al. condition)."""
+    start = time.perf_counter()
+    rows = []
+    claims = True
+    for family in families:
+        spec = FAMILIES[family]
+        network = spec.constructor(**spec.small)
+        quoted = network.diagnosability()
+        upper = min_degree_upper_bound(network)
+        report = chang_condition(network)
+        consistent = quoted <= upper and (not report.applies or
+                                          report.implied_diagnosability == quoted)
+        claims &= consistent
+        rows.append((family, network.num_nodes, quoted, upper, report.applies, consistent))
+    # Exhaustive check on a graph small enough to brute-force.
+    import networkx as nx
+
+    from ..networks import ExplicitNetwork
+
+    petersen = ExplicitNetwork.from_networkx(nx.petersen_graph())
+    exact = exact_diagnosability(petersen)
+    chang = chang_condition(petersen, connectivity=3)
+    claims &= exact == 3 and chang.implied_diagnosability == 3
+    rows.append(("petersen (exhaustive)", 10, exact, min_degree_upper_bound(petersen),
+                 chang.applies, exact == chang.implied_diagnosability))
+    return ExperimentReport(
+        "E7",
+        "diagnosability: quoted value vs min-degree bound and Chang et al. [6]",
+        ["family", "N", "quoted δ", "min-degree bound", "Chang applies", "consistent"],
+        rows,
+        claims,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+# --------------------------------------------------------------------------- E8
+def run_e8(*, dimensions: tuple[int, ...] = (7, 8, 9, 10, 11, 12)) -> ExperimentReport:
+    """E8 (ablation): the paper's class size vs the certificate requirement."""
+    start = time.perf_counter()
+    rows = []
+    claims = True
+    for n in dimensions:
+        cube = Hypercube(n)
+        level0 = cube.partition_scheme(0).first(1)[0]
+        certifies = class_certifies_when_fault_free(cube, level0)
+        min_level = minimal_certifying_level(cube)
+        rows.append((f"Q_{n}", n, level0.size, certifies,
+                     2 * level0.size, min_level))
+        claims &= (not certifies) and min_level == 1
+    return ExperimentReport(
+        "E8",
+        "certificate ablation: paper's minimal sub-cube vs the size the certificate needs",
+        ["network", "δ", "paper class size (2^m > δ)", "certifies fault-free",
+         "required class size", "escalations needed"],
+        rows,
+        claims,
+        notes=("Reproduction finding: a fault-free Set_Builder tree on Q_m has exactly "
+               "2^(m-1) internal nodes, so the paper's choice 2^m > δ never reaches the "
+               "'> δ contributors' certificate; one doubling (2^m > 2δ) always does. The "
+               "driver's automatic escalation absorbs the gap at negligible cost."),
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+# --------------------------------------------------------------------------- E9
+def run_e9(*, dimensions: tuple[int, ...] = (8, 9, 10), seed: int = 31) -> ExperimentReport:
+    """E9 (further research): distributed Set_Builder vs extended-star gossip."""
+    start = time.perf_counter()
+    rows = []
+    claims = True
+    for n in dimensions:
+        cube = Hypercube(n)
+        faults = random_faults(cube, n, seed=seed)
+        syndrome = generate_syndrome(cube, faults, seed=seed, full_table=True)
+        root = GeneralDiagnoser(cube).diagnose(syndrome).healthy_root
+        stats = DistributedSetBuilder(cube).run(syndrome, root)
+        gossip_rounds, gossip_messages = extended_star_gossip_cost(cube, radius=3)
+        claims &= stats.messages < gossip_messages and stats.faults_found == len(faults)
+        rows.append((f"Q_{n}", stats.rounds, stats.messages, gossip_rounds, gossip_messages,
+                     f"{gossip_messages / stats.messages:.1f}x"))
+    return ExperimentReport(
+        "E9",
+        "distributed Set_Builder vs extended-star data dissemination",
+        ["network", "SB rounds", "SB messages", "gossip rounds", "gossip messages",
+         "message ratio"],
+        rows,
+        claims,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+    "E9": run_e9,
+}
+
+
+def run_experiment(name: str, **kwargs) -> ExperimentReport:
+    """Run one experiment by name (``"E1"`` .. ``"E9"``)."""
+    key = name.upper()
+    if key not in EXPERIMENTS:
+        raise ValueError(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key](**kwargs)
+
+
+def run_all(**kwargs) -> list[ExperimentReport]:
+    """Run every experiment in order."""
+    return [runner(**kwargs.get(name.lower(), {})) for name, runner in EXPERIMENTS.items()]

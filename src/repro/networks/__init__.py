@@ -1,0 +1,83 @@
+"""Interconnection-network topologies used in the paper (Section 5).
+
+The module exposes the fourteen families the paper applies its algorithm to,
+plus the abstract base classes and a registry for uniform instantiation.
+"""
+
+from .arrangement import ArrangementGraph
+from .augmented_cube import AugmentedCube
+from .base import (
+    DimensionalNetwork,
+    ExplicitNetwork,
+    InterconnectionNetwork,
+    PartitionClass,
+    PartitionScheme,
+    PermutationNetwork,
+)
+from .crossed_cube import CrossedCube
+from .extensions import LocallyTwistedCube, MobiusCube
+from .folded_hypercube import EnhancedHypercube, FoldedHypercube
+from .hypercube import Hypercube, gray_code_cycle
+from .kary_ncube import AugmentedKAryNCube, KAryNCube
+from .pancake import PancakeGraph
+from .properties import (
+    PropertyReport,
+    check_partition,
+    is_regular,
+    verify_theorem1_preconditions,
+    vertex_connectivity,
+)
+from .registry import (
+    EXTENSION_FAMILIES,
+    FAMILIES,
+    PAPER_FAMILIES,
+    FamilySpec,
+    available_families,
+    create_network,
+    default_instances,
+)
+from .shuffle_cube import ShuffleCube
+from .star_graph import NKStarGraph, StarGraph
+from .twisted_cube import TwistedCube
+from .twisted_n_cube import TwistedNCube
+
+__all__ = [
+    # base
+    "InterconnectionNetwork",
+    "DimensionalNetwork",
+    "PermutationNetwork",
+    "ExplicitNetwork",
+    "PartitionClass",
+    "PartitionScheme",
+    # families
+    "Hypercube",
+    "CrossedCube",
+    "TwistedCube",
+    "FoldedHypercube",
+    "EnhancedHypercube",
+    "AugmentedCube",
+    "ShuffleCube",
+    "TwistedNCube",
+    "KAryNCube",
+    "AugmentedKAryNCube",
+    "StarGraph",
+    "NKStarGraph",
+    "PancakeGraph",
+    "ArrangementGraph",
+    "LocallyTwistedCube",
+    "MobiusCube",
+    # helpers
+    "gray_code_cycle",
+    "FAMILIES",
+    "PAPER_FAMILIES",
+    "EXTENSION_FAMILIES",
+    "FamilySpec",
+    "available_families",
+    "create_network",
+    "default_instances",
+    "PropertyReport",
+    "is_regular",
+    "vertex_connectivity",
+    "check_partition",
+    "verify_theorem1_preconditions",
+]

@@ -1,0 +1,125 @@
+"""The arrangement graph ``A_{n,k}`` (Day & Tripathi [11]).
+
+Nodes are the ``k``-arrangements of ``{1, .., n}``; two arrangements are
+adjacent iff they differ in exactly one position.  ``A_{n,k}`` is
+``k(n-k)``-regular with connectivity ``k(n-k)`` and diagnosability ``k(n-k)``
+(paper Theorem 7).  ``A_{n,1}`` is the complete graph ``K_n`` and
+``A_{n,n-1}`` is isomorphic to the star graph ``S_n``.
+
+Partitioning: fixing the symbols in the trailing ``j`` positions splits
+``A_{n,k}`` into ``n!/(n-j)!`` copies of ``A_{n-j, k-j}``.  Because the
+diagnosability ``k(n-k)`` can exceed ``n``, a single fixed position does not
+always provide more classes than faults; :meth:`ArrangementGraph.partition_scheme`
+therefore fixes as many trailing positions as needed (and exposes coarser
+levels by fixing fewer).
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from typing import Iterator
+
+from .base import PartitionClass, PartitionScheme, PermutationNetwork
+
+__all__ = ["ArrangementGraph"]
+
+
+class ArrangementGraph(PermutationNetwork):
+    """The arrangement graph ``A_{n,k}``."""
+
+    family = "arrangement"
+
+    def __init__(self, n: int, k: int) -> None:
+        if not 1 <= k <= n - 1:
+            raise ValueError("the arrangement graph requires 1 <= k <= n - 1")
+        super().__init__(n, k)
+
+    # ------------------------------------------------------------------ edges
+    def _label_neighbors(self, label: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        used = set(label)
+        for position in range(self.k):
+            for symbol in range(1, self.n + 1):
+                if symbol not in used:
+                    yield label[:position] + (symbol,) + label[position + 1 :]
+
+    # --------------------------------------------------------------- metadata
+    def degree(self, v: int) -> int:
+        return self.k * (self.n - self.k)
+
+    @property
+    def max_degree(self) -> int:
+        return self.k * (self.n - self.k)
+
+    @property
+    def min_degree(self) -> int:
+        return self.k * (self.n - self.k)
+
+    def diagnosability(self) -> int:
+        """Diagnosability ``k(n-k)`` of ``A_{n,k}`` for ``n ≥ 4`` (paper Theorem 7)."""
+        if self.n < 4:
+            raise ValueError("diagnosability of A_{n,k} under the MM model requires n >= 4")
+        return self.k * (self.n - self.k)
+
+    def connectivity(self) -> int:
+        return self.k * (self.n - self.k)
+
+    # -------------------------------------------------------------- partitions
+    def _min_fixed_positions(self) -> int:
+        """Smallest ``j`` such that fixing ``j`` trailing positions yields more
+        classes than the diagnosability (so a fault-free class must exist)."""
+        delta = self.diagnosability()
+        j = 1
+        while j < self.k and factorial(self.n) // factorial(self.n - j) <= delta:
+            j += 1
+        return j
+
+    def max_partition_level(self) -> int:
+        return max(0, self._min_fixed_positions() - 1)
+
+    def partition_scheme(self, level: int = 0) -> PartitionScheme:
+        """Partition by the symbols in the trailing ``j`` positions.
+
+        ``level`` 0 fixes the minimal number of positions needed to obtain
+        more classes than the diagnosability; higher levels *reduce* the
+        number of fixed positions (coarser classes), ending at a single fixed
+        position.
+        """
+        j = self._min_fixed_positions() - int(level)
+        if j < 1:
+            raise ValueError(f"partition level {level} too coarse for A_({self.n},{self.k})")
+        return self._suffix_partition(j)
+
+    def _suffix_partition(self, fixed_positions: int) -> PartitionScheme:
+        from itertools import permutations
+
+        n, k, j = self.n, self.k, fixed_positions
+        labels = self._labels
+        index = self._index
+        num_classes = factorial(n) // factorial(n - j)
+        size = self.num_nodes // num_classes
+
+        def make_class(suffix: tuple[int, ...]) -> PartitionClass:
+            remaining = [s for s in range(1, n + 1) if s not in suffix]
+            representative_label = tuple(remaining[: k - j]) + suffix
+            representative = index[representative_label]
+
+            def contains(v: int, _suffix: tuple[int, ...] = suffix) -> bool:
+                return labels[v][k - j :] == _suffix
+
+            return PartitionClass(
+                representative=representative,
+                size=size,
+                contains=contains,
+                label=f"suffix={suffix}",
+            )
+
+        def classes() -> Iterator[PartitionClass]:
+            for suffix in permutations(range(1, n + 1), j):
+                yield make_class(suffix)
+
+        return PartitionScheme(
+            classes,
+            num_classes=num_classes,
+            class_size=size,
+            description=f"arrangement: fix trailing {j} positions",
+        )

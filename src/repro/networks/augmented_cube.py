@@ -1,0 +1,60 @@
+"""The augmented cube ``AQ_n`` (Choudum & Sunitha [10]).
+
+``AQ_n`` is defined recursively: ``AQ_1 = K_2`` and ``AQ_n`` consists of two
+copies ``0·AQ_{n-1}`` and ``1·AQ_{n-1}`` where node ``0u`` is joined to both
+``1u`` (hypercube edge) and ``1ū`` (complement edge).  Unfolding the recursion
+gives the closed form used here: node ``u`` is adjacent to
+
+* ``u`` with bit ``i`` flipped, for every ``i`` (the ``n`` hypercube edges),
+* ``u`` with bits ``i-1 .. 0`` all flipped, for ``i = 2 .. n`` (the ``n - 1``
+  complement edges).
+
+``AQ_n`` is ``(2n-1)``-regular with connectivity ``2n - 1`` and diagnosability
+``2n - 1`` for ``n ≥ 5`` (paper Section 5.1).  Fixing the leading bit yields
+two copies of ``AQ_{n-1}``, so the prefix partition of
+:class:`~repro.networks.base.DimensionalNetwork` applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import DimensionalNetwork
+
+__all__ = ["AugmentedCube"]
+
+
+class AugmentedCube(DimensionalNetwork):
+    """The augmented cube ``AQ_n``."""
+
+    family = "augmented_cube"
+
+    def __init__(self, dimension: int) -> None:
+        super().__init__(dimension, radix=2)
+
+    # ------------------------------------------------------------------ graph
+    def neighbors(self, v: int) -> Sequence[int]:
+        result = [v ^ (1 << i) for i in range(self.dimension)]
+        result.extend(v ^ ((1 << i) - 1) for i in range(2, self.dimension + 1))
+        return result
+
+    def degree(self, v: int) -> int:
+        return 2 * self.dimension - 1
+
+    @property
+    def max_degree(self) -> int:
+        return 2 * self.dimension - 1
+
+    @property
+    def min_degree(self) -> int:
+        return 2 * self.dimension - 1
+
+    # --------------------------------------------------------------- metadata
+    def diagnosability(self) -> int:
+        """Diagnosability ``2n - 1`` of ``AQ_n`` for ``n ≥ 5`` (paper, via [6])."""
+        if self.dimension < 5:
+            raise ValueError("diagnosability of AQ_n under the MM model requires n >= 5")
+        return 2 * self.dimension - 1
+
+    def connectivity(self) -> int:
+        return 2 * self.dimension - 1

@@ -1,0 +1,100 @@
+"""The n-dimensional crossed cube ``CQ_n`` (Efe [12]).
+
+``CQ_n`` has the same node set as the hypercube (bit-strings of length ``n``)
+but "crosses" some of the dimension edges.  It is ``n``-regular, has
+connectivity ``n`` (Kulasinghe [16]) and diagnosability ``n`` for ``n ≥ 4``
+(Fan [14]; also via Chang et al. [6]).  Fixing the leading bit splits
+``CQ_n`` into two copies of ``CQ_{n-1}``, which is the partition property the
+paper exploits (Section 5.1).
+
+The adjacency rule used here is the standard non-recursive characterisation:
+``u`` and ``v`` (bits written ``u_{n-1} ... u_0``) are adjacent iff there is a
+dimension ``l`` such that
+
+1. ``u_{n-1} .. u_{l+1} = v_{n-1} .. v_{l+1}``;
+2. ``u_l ≠ v_l``;
+3. if ``l`` is odd, ``u_{l-1} = v_{l-1}``;
+4. for every pair index ``i`` with ``2i + 1 < l``, the bit pairs
+   ``(u_{2i+1} u_{2i})`` and ``(v_{2i+1} v_{2i})`` are *pair-related*, i.e.
+   belong to ``{(00,00), (10,10), (01,11), (11,01)}``.
+
+Every node has exactly one ``l``-neighbour for each ``l``, so the graph is
+``n``-regular.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import DimensionalNetwork
+
+__all__ = ["CrossedCube", "pair_related_partner"]
+
+
+def pair_related_partner(pair: int) -> int:
+    """The unique 2-bit value pair-related to ``pair``.
+
+    The pair-relation ``R = {(00,00), (10,10), (01,11), (11,01)}`` relates each
+    2-bit string to exactly one partner: strings with low bit 0 to themselves,
+    and strings with low bit 1 to the string with low bit 1 and high bit
+    complemented.
+    """
+    if pair & 0b01 == 0:
+        return pair
+    return pair ^ 0b10
+
+
+class CrossedCube(DimensionalNetwork):
+    """The crossed cube ``CQ_n``."""
+
+    family = "crossed_cube"
+
+    def __init__(self, dimension: int) -> None:
+        super().__init__(dimension, radix=2)
+
+    # ------------------------------------------------------------------ graph
+    def _dimension_neighbor(self, v: int, l: int) -> int:
+        """The unique neighbour of ``v`` across dimension ``l``."""
+        n = self.dimension
+        result = 0
+        # Bits above l are copied.
+        high_mask = ~((1 << (l + 1)) - 1) & ((1 << n) - 1)
+        result |= v & high_mask
+        # Bit l is flipped.
+        result |= ((v >> l) & 1 ^ 1) << l
+        low_limit = l
+        if l % 2 == 1:
+            # Bit l-1 is copied when l is odd.
+            result |= v & (1 << (l - 1))
+            low_limit = l - 1
+        # Remaining low bits are grouped into pairs (2i+1, 2i) with 2i+1 < low_limit.
+        i = 0
+        while 2 * i + 1 < low_limit:
+            pair = (v >> (2 * i)) & 0b11
+            result |= pair_related_partner(pair) << (2 * i)
+            i += 1
+        return result
+
+    def neighbors(self, v: int) -> Sequence[int]:
+        return [self._dimension_neighbor(v, l) for l in range(self.dimension)]
+
+    def degree(self, v: int) -> int:
+        return self.dimension
+
+    @property
+    def max_degree(self) -> int:
+        return self.dimension
+
+    @property
+    def min_degree(self) -> int:
+        return self.dimension
+
+    # --------------------------------------------------------------- metadata
+    def diagnosability(self) -> int:
+        """Diagnosability ``n`` of ``CQ_n`` for ``n ≥ 4`` (Fan [14])."""
+        if self.dimension < 4:
+            raise ValueError("diagnosability of CQ_n under the MM model requires n >= 4")
+        return self.dimension
+
+    def connectivity(self) -> int:
+        return self.dimension

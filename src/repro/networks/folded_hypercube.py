@@ -1,0 +1,77 @@
+"""Folded hypercubes ``FQ_n`` and enhanced hypercubes ``Q_{n,k}``.
+
+Both graphs contain the hypercube ``Q_n`` as a spanning subgraph, are
+``(n+1)``-regular and have connectivity ``n + 1`` (Al-Amaway & Latifi [3],
+Tzeng & Wei [22]); hence by Chang et al. [6] both have diagnosability
+``n + 1`` for ``n ≥ 4`` — exactly the facts quoted in the paper
+(Section 5.1).  The paper diagnoses them by partitioning the *underlying
+hypercube* into sub-cubes ``Q_m``; the prefix partition inherited from
+:class:`~repro.networks.base.DimensionalNetwork` realises that decomposition
+(every partition class still induces a connected subgraph because it contains
+the sub-hypercube as a spanning subgraph).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import DimensionalNetwork
+
+__all__ = ["FoldedHypercube", "EnhancedHypercube"]
+
+
+class EnhancedHypercube(DimensionalNetwork):
+    """The enhanced hypercube ``Q_{n,k}`` (Tzeng & Wei [22]).
+
+    ``Q_{n,k}`` augments the hypercube ``Q_n`` with *complement edges*: node
+    ``u`` is additionally adjacent to the node obtained by complementing its
+    ``k`` lowest-order bits (``2 ≤ k ≤ n``).  ``Q_{n,n}`` is the folded
+    hypercube.
+    """
+
+    family = "enhanced_hypercube"
+
+    def __init__(self, dimension: int, k: int | None = None) -> None:
+        super().__init__(dimension, radix=2)
+        if k is None:
+            k = dimension
+        if not 2 <= k <= dimension:
+            raise ValueError("enhanced hypercube requires 2 <= k <= n")
+        self.k = int(k)
+        self._complement_mask = (1 << self.k) - 1
+
+    # ------------------------------------------------------------------ graph
+    def neighbors(self, v: int) -> Sequence[int]:
+        result = [v ^ (1 << i) for i in range(self.dimension)]
+        result.append(v ^ self._complement_mask)
+        return result
+
+    def degree(self, v: int) -> int:
+        return self.dimension + 1
+
+    @property
+    def max_degree(self) -> int:
+        return self.dimension + 1
+
+    @property
+    def min_degree(self) -> int:
+        return self.dimension + 1
+
+    # --------------------------------------------------------------- metadata
+    def diagnosability(self) -> int:
+        """Diagnosability ``n + 1`` for ``n ≥ 4`` (paper Section 5.1, via [6])."""
+        if self.dimension < 4:
+            raise ValueError("diagnosability of Q_{n,k} under the MM model requires n >= 4")
+        return self.dimension + 1
+
+    def connectivity(self) -> int:
+        return self.dimension + 1
+
+
+class FoldedHypercube(EnhancedHypercube):
+    """The folded hypercube ``FQ_n``: ``Q_n`` plus all complement edges ``u ~ ū``."""
+
+    family = "folded_hypercube"
+
+    def __init__(self, dimension: int) -> None:
+        super().__init__(dimension, k=dimension)

@@ -1,0 +1,98 @@
+"""The n-dimensional hypercube ``Q_n`` and helpers shared by its variants.
+
+The hypercube is the reference topology of the paper: Theorem 2 shows the
+general algorithm diagnoses at most ``n`` faults in ``Q_n`` in ``O(n·2^n)``
+time.  Nodes are the ``2^n`` bit-strings of length ``n``; two nodes are
+adjacent iff they differ in exactly one bit.  Nodes are encoded as the integer
+value of the bit-string (most significant bit = the paper's "first
+component").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import DimensionalNetwork
+
+__all__ = ["Hypercube", "gray_code_cycle"]
+
+
+def gray_code_cycle(dimension: int) -> list[int]:
+    """Return a Hamiltonian cycle of ``Q_dimension`` as a list of node codes.
+
+    The binary reflected Gray code visits every bit-string of length
+    ``dimension`` exactly once with consecutive strings differing in one bit,
+    and the last string differs from the first in one bit, hence the list is a
+    Hamiltonian cycle of the hypercube (for ``dimension >= 2``).  This is the
+    "cyclic Gray code" construction whose cost the paper notes Yang's
+    algorithm silently relies on (Section 3).
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    return [i ^ (i >> 1) for i in range(1 << dimension)]
+
+
+class Hypercube(DimensionalNetwork):
+    """The binary n-cube ``Q_n``.
+
+    Parameters
+    ----------
+    dimension:
+        Number of bits ``n``; the network has ``2^n`` nodes and is
+        ``n``-regular.
+    """
+
+    family = "hypercube"
+
+    def __init__(self, dimension: int) -> None:
+        super().__init__(dimension, radix=2)
+
+    # ------------------------------------------------------------------ graph
+    def neighbors(self, v: int) -> Sequence[int]:
+        return [v ^ (1 << i) for i in range(self.dimension)]
+
+    def degree(self, v: int) -> int:
+        return self.dimension
+
+    @property
+    def max_degree(self) -> int:
+        return self.dimension
+
+    @property
+    def min_degree(self) -> int:
+        return self.dimension
+
+    # --------------------------------------------------------------- metadata
+    def diagnosability(self) -> int:
+        """Diagnosability ``n`` of ``Q_n`` for ``n >= 5`` (Wang [23]).
+
+        The paper applies its algorithm for ``n >= 7``; the diagnosability
+        value itself holds from ``n >= 5``.  Smaller cubes raise
+        ``ValueError`` because the literature value does not apply.
+        """
+        if self.dimension < 5:
+            raise ValueError("diagnosability of Q_n under the MM model requires n >= 5")
+        return self.dimension
+
+    def connectivity(self) -> int:
+        return self.dimension
+
+    # ---------------------------------------------------------------- helpers
+    def subcube_nodes(self, prefix: Sequence[int], sub_dimension: int) -> list[int]:
+        """Nodes of the sub-hypercube ``Q_m(prefix)`` (paper Section 5.1).
+
+        ``prefix`` fixes the leading ``n - m`` bits; the returned nodes are
+        the ``2^m`` nodes agreeing with the prefix.
+        """
+        n, m = self.dimension, sub_dimension
+        if len(prefix) != n - m:
+            raise ValueError(f"prefix must fix {n - m} bits")
+        base = 0
+        for bit in prefix:
+            base = (base << 1) | (int(bit) & 1)
+        base <<= m
+        return [base | suffix for suffix in range(1 << m)]
+
+    def hamming_distance(self, u: int, v: int) -> int:
+        """Number of bit positions in which ``u`` and ``v`` differ."""
+        return (u ^ v).bit_count()

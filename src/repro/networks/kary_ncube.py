@@ -1,0 +1,149 @@
+"""The k-ary n-cube ``Q^k_n`` and the augmented k-ary n-cube ``AQ_{n,k}``.
+
+``Q^k_n`` (Bose et al. [5]) has node set ``{0, .., k-1}^n``; two nodes are
+adjacent iff they differ in exactly one coordinate and in that coordinate they
+differ by ``±1 (mod k)``.  For ``k ≥ 3`` it is ``2n``-regular with
+connectivity ``2n``; by Chang et al. [6] its diagnosability is ``2n`` except
+for the handful of small cases the paper excludes (Theorem 4).
+
+``AQ_{n,k}`` (Xiang & Stewart [25]) augments ``Q^k_n`` with the analogue of
+the augmented cube's complement edges: node ``u`` is additionally adjacent to
+``u ± (e_i + e_{i-1} + ... + e_1) (mod k)`` for every ``i = 2 .. n`` (i.e. the
+lowest ``i`` coordinates are all incremented, or all decremented, by one).  It
+is ``(4n - 2)``-regular with connectivity ``4n - 2`` and diagnosability
+``4n - 2`` whenever ``(n, k) ≠ (2, 3)`` (paper Section 5.2).
+
+Both graphs decompose into ``k^{n-m}`` copies of the same family with ``m``
+dimensions by fixing the leading ``n - m`` digits, so the prefix partition of
+:class:`~repro.networks.base.DimensionalNetwork` applies directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import DimensionalNetwork
+
+__all__ = ["KAryNCube", "AugmentedKAryNCube"]
+
+#: (k, n) pairs for which Theorem 4 does not assert diagnosability 2n.
+EXCLUDED_KARY_CASES = {(3, 2), (3, 3), (3, 4), (4, 2), (4, 3), (5, 2)}
+
+
+class KAryNCube(DimensionalNetwork):
+    """The k-ary n-cube ``Q^k_n`` (``k ≥ 3``)."""
+
+    family = "kary_ncube"
+
+    def __init__(self, n: int, k: int) -> None:
+        if k < 3:
+            raise ValueError("the k-ary n-cube requires k >= 3 (use Hypercube for k = 2)")
+        if n < 1:
+            raise ValueError("the k-ary n-cube requires n >= 1")
+        super().__init__(dimension=n, radix=k)
+        self.n = int(n)
+        self.k = int(k)
+
+    # ------------------------------------------------------------------ graph
+    def neighbors(self, v: int) -> Sequence[int]:
+        k = self.radix
+        result: list[int] = []
+        power = 1
+        for _ in range(self.dimension):
+            digit = (v // power) % k
+            base = v - digit * power
+            result.append(base + ((digit + 1) % k) * power)
+            if k > 2:
+                result.append(base + ((digit - 1) % k) * power)
+            power *= k
+        return result
+
+    def degree(self, v: int) -> int:
+        return 2 * self.dimension if self.radix > 2 else self.dimension
+
+    @property
+    def max_degree(self) -> int:
+        return self.degree(0)
+
+    @property
+    def min_degree(self) -> int:
+        return self.degree(0)
+
+    # --------------------------------------------------------------- metadata
+    def diagnosability(self) -> int:
+        """Diagnosability ``2n`` of ``Q^k_n`` (Theorem 4's precondition)."""
+        if self.n < 2:
+            raise ValueError("diagnosability of Q^k_n under the MM model requires n >= 2")
+        if (self.k, self.n) in EXCLUDED_KARY_CASES:
+            raise ValueError(
+                f"(k, n) = ({self.k}, {self.n}) is excluded by Theorem 4 of the paper"
+            )
+        return 2 * self.n
+
+    def connectivity(self) -> int:
+        return 2 * self.n
+
+
+class AugmentedKAryNCube(DimensionalNetwork):
+    """The augmented k-ary n-cube ``AQ_{n,k}`` (``n ≥ 2``, ``k ≥ 3``)."""
+
+    family = "augmented_kary_ncube"
+
+    def __init__(self, n: int, k: int) -> None:
+        if k < 3:
+            raise ValueError("the augmented k-ary n-cube requires k >= 3")
+        if n < 2:
+            raise ValueError("the augmented k-ary n-cube requires n >= 2")
+        super().__init__(dimension=n, radix=k)
+        self.n = int(n)
+        self.k = int(k)
+
+    # ------------------------------------------------------------------ graph
+    def _shift_lowest(self, v: int, count: int, delta: int) -> int:
+        """Add ``delta`` (mod k) to the ``count`` lowest-order digits of ``v``."""
+        k = self.radix
+        power = 1
+        result = v
+        for _ in range(count):
+            digit = (result // power) % k
+            result += (((digit + delta) % k) - digit) * power
+            power *= k
+        return result
+
+    def neighbors(self, v: int) -> Sequence[int]:
+        result: list[int] = []
+        # k-ary n-cube edges: one digit changes by ±1.
+        k = self.radix
+        power = 1
+        for _ in range(self.dimension):
+            digit = (v // power) % k
+            base = v - digit * power
+            result.append(base + ((digit + 1) % k) * power)
+            result.append(base + ((digit - 1) % k) * power)
+            power *= k
+        # Augmented edges: the i lowest digits all change by ±1, i = 2 .. n.
+        for i in range(2, self.dimension + 1):
+            result.append(self._shift_lowest(v, i, +1))
+            result.append(self._shift_lowest(v, i, -1))
+        return result
+
+    def degree(self, v: int) -> int:
+        return 4 * self.dimension - 2
+
+    @property
+    def max_degree(self) -> int:
+        return 4 * self.dimension - 2
+
+    @property
+    def min_degree(self) -> int:
+        return 4 * self.dimension - 2
+
+    # --------------------------------------------------------------- metadata
+    def diagnosability(self) -> int:
+        """Diagnosability ``4n - 2`` of ``AQ_{n,k}`` for ``(n, k) ≠ (2, 3)`` (paper §5.2)."""
+        if (self.n, self.k) == (2, 3):
+            raise ValueError("(n, k) = (2, 3) is excluded by the paper")
+        return 4 * self.n - 2
+
+    def connectivity(self) -> int:
+        return 4 * self.n - 2

@@ -1,0 +1,52 @@
+"""The n-dimensional pancake graph ``P_n`` (Akers & Krishnamurthy [2]).
+
+Nodes are the permutations of ``{1, .., n}``; two permutations are adjacent
+iff one is obtained from the other by reversing a prefix of length
+``2 ≤ l ≤ n`` ("flipping the top l pancakes").  ``P_n`` is ``(n-1)``-regular
+with connectivity ``n - 1`` and, for ``n ≥ 4``, diagnosability ``n - 1``
+(paper Theorem 6).  Fixing the symbol in the final position partitions ``P_n``
+into ``n`` copies of ``P_{n-1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .base import PermutationNetwork
+
+__all__ = ["PancakeGraph"]
+
+
+class PancakeGraph(PermutationNetwork):
+    """The pancake graph ``P_n``."""
+
+    family = "pancake"
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n, n)
+
+    # ------------------------------------------------------------------ edges
+    def _label_neighbors(self, label: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        for length in range(2, self.n + 1):
+            yield tuple(reversed(label[:length])) + label[length:]
+
+    # --------------------------------------------------------------- metadata
+    def degree(self, v: int) -> int:
+        return self.n - 1
+
+    @property
+    def max_degree(self) -> int:
+        return self.n - 1
+
+    @property
+    def min_degree(self) -> int:
+        return self.n - 1
+
+    def diagnosability(self) -> int:
+        """Diagnosability ``n - 1`` of ``P_n`` for ``n ≥ 4`` (paper Theorem 6)."""
+        if self.n < 4:
+            raise ValueError("diagnosability of P_n under the MM model requires n >= 4")
+        return self.n - 1
+
+    def connectivity(self) -> int:
+        return self.n - 1

@@ -1,0 +1,245 @@
+"""Registry of the interconnection-network families covered by the paper.
+
+The registry maps the machine-readable family name to a constructor taking
+keyword parameters; it is used by the CLI, the examples and the benchmark
+harness to instantiate networks uniformly, and by the survey utilities to walk
+the whole zoo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .arrangement import ArrangementGraph
+from .augmented_cube import AugmentedCube
+from .base import InterconnectionNetwork
+from .crossed_cube import CrossedCube
+from .extensions import LocallyTwistedCube, MobiusCube
+from .folded_hypercube import EnhancedHypercube, FoldedHypercube
+from .hypercube import Hypercube
+from .kary_ncube import AugmentedKAryNCube, KAryNCube
+from .pancake import PancakeGraph
+from .shuffle_cube import ShuffleCube
+from .star_graph import NKStarGraph, StarGraph
+from .twisted_cube import TwistedCube
+from .twisted_n_cube import TwistedNCube
+
+__all__ = [
+    "FamilySpec",
+    "FAMILIES",
+    "PAPER_FAMILIES",
+    "EXTENSION_FAMILIES",
+    "create_network",
+    "available_families",
+    "default_instances",
+]
+
+#: The fourteen families the paper works through explicitly (Section 5).
+PAPER_FAMILIES: tuple[str, ...] = (
+    "hypercube",
+    "crossed_cube",
+    "twisted_cube",
+    "folded_hypercube",
+    "enhanced_hypercube",
+    "augmented_cube",
+    "shuffle_cube",
+    "twisted_n_cube",
+    "kary_ncube",
+    "augmented_kary_ncube",
+    "nk_star",
+    "star",
+    "pancake",
+    "arrangement",
+)
+
+#: Families added by this reproduction to exercise the paper's "numerous
+#: further networks" claim.
+EXTENSION_FAMILIES: tuple[str, ...] = ("locally_twisted_cube", "mobius_cube")
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """Metadata describing one network family of the paper's Section 5."""
+
+    name: str
+    constructor: Callable[..., InterconnectionNetwork]
+    description: str
+    paper_theorem: str
+    #: keyword arguments for a small instance used in documentation/tests
+    small: dict = field(default_factory=dict)
+    #: keyword arguments for a benchmark-sized instance
+    medium: dict = field(default_factory=dict)
+
+
+FAMILIES: dict[str, FamilySpec] = {
+    spec.name: spec
+    for spec in [
+        FamilySpec(
+            "hypercube",
+            Hypercube,
+            "binary n-cube Q_n",
+            "Theorem 2",
+            small={"dimension": 7},
+            medium={"dimension": 10},
+        ),
+        FamilySpec(
+            "crossed_cube",
+            CrossedCube,
+            "crossed cube CQ_n",
+            "Theorem 3",
+            small={"dimension": 7},
+            medium={"dimension": 10},
+        ),
+        FamilySpec(
+            "twisted_cube",
+            TwistedCube,
+            "twisted cube TQ_n (odd n)",
+            "Theorem 3",
+            small={"dimension": 7},
+            medium={"dimension": 9},
+        ),
+        FamilySpec(
+            "folded_hypercube",
+            FoldedHypercube,
+            "folded hypercube FQ_n",
+            "Theorem 3",
+            small={"dimension": 7},
+            medium={"dimension": 10},
+        ),
+        FamilySpec(
+            "enhanced_hypercube",
+            EnhancedHypercube,
+            "enhanced hypercube Q_{n,k}",
+            "Theorem 3",
+            small={"dimension": 7, "k": 4},
+            medium={"dimension": 10, "k": 6},
+        ),
+        FamilySpec(
+            "augmented_cube",
+            AugmentedCube,
+            "augmented cube AQ_n",
+            "Theorem 3",
+            small={"dimension": 6},
+            medium={"dimension": 9},
+        ),
+        FamilySpec(
+            "shuffle_cube",
+            ShuffleCube,
+            "shuffle-cube SQ_n (n = 4k + 2)",
+            "Theorem 3",
+            small={"dimension": 6},
+            medium={"dimension": 10},
+        ),
+        FamilySpec(
+            "twisted_n_cube",
+            TwistedNCube,
+            "twisted N-cube TQ'_n",
+            "Theorem 3",
+            small={"dimension": 7},
+            medium={"dimension": 10},
+        ),
+        FamilySpec(
+            "kary_ncube",
+            KAryNCube,
+            "k-ary n-cube Q^k_n",
+            "Theorem 4",
+            small={"n": 3, "k": 5},
+            medium={"n": 3, "k": 8},
+        ),
+        FamilySpec(
+            "augmented_kary_ncube",
+            AugmentedKAryNCube,
+            "augmented k-ary n-cube AQ_{n,k}",
+            "Theorem 4 (corollary)",
+            small={"n": 3, "k": 4},
+            medium={"n": 3, "k": 8},
+        ),
+        FamilySpec(
+            "nk_star",
+            NKStarGraph,
+            "(n,k)-star graph S_{n,k}",
+            "Theorem 5",
+            small={"n": 5, "k": 3},
+            medium={"n": 7, "k": 4},
+        ),
+        FamilySpec(
+            "star",
+            StarGraph,
+            "star graph S_n",
+            "Theorem 5",
+            small={"n": 5},
+            medium={"n": 7},
+        ),
+        FamilySpec(
+            "pancake",
+            PancakeGraph,
+            "pancake graph P_n",
+            "Theorem 6",
+            small={"n": 5},
+            medium={"n": 7},
+        ),
+        FamilySpec(
+            "arrangement",
+            ArrangementGraph,
+            "arrangement graph A_{n,k}",
+            "Theorem 7",
+            small={"n": 6, "k": 3},
+            medium={"n": 7, "k": 3},
+        ),
+        FamilySpec(
+            "locally_twisted_cube",
+            LocallyTwistedCube,
+            "locally twisted cube LTQ_n",
+            "extension (Section 5 style)",
+            small={"dimension": 7},
+            medium={"dimension": 10},
+        ),
+        FamilySpec(
+            "mobius_cube",
+            MobiusCube,
+            "Möbius cube MQ_n",
+            "extension (Section 5 style)",
+            small={"dimension": 7},
+            medium={"dimension": 10},
+        ),
+    ]
+}
+
+
+def available_families() -> list[str]:
+    """Names of all registered network families."""
+    return sorted(FAMILIES)
+
+
+def create_network(family: str, **params) -> InterconnectionNetwork:
+    """Instantiate a network family by name.
+
+    Parameters
+    ----------
+    family:
+        One of :func:`available_families`.
+    **params:
+        Constructor parameters (e.g. ``dimension=10`` for the hypercube).
+    """
+    try:
+        spec = FAMILIES[family]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown network family {family!r}; available: {', '.join(available_families())}"
+        ) from exc
+    return spec.constructor(**params)
+
+
+def default_instances(size: str = "small") -> dict[str, InterconnectionNetwork]:
+    """Instantiate one representative of every family.
+
+    ``size`` is ``"small"`` (test-sized) or ``"medium"`` (benchmark-sized).
+    """
+    if size not in ("small", "medium"):
+        raise ValueError("size must be 'small' or 'medium'")
+    instances = {}
+    for name, spec in FAMILIES.items():
+        params = spec.small if size == "small" else spec.medium
+        instances[name] = spec.constructor(**params)
+    return instances

@@ -1,0 +1,114 @@
+"""The star graph ``S_n`` and the (n,k)-star graph ``S_{n,k}``.
+
+* ``S_n`` (Akers, Harel & Krishnamurthy [1]): nodes are the permutations of
+  ``{1, .., n}``; two permutations are adjacent iff one is obtained from the
+  other by swapping the first symbol with the symbol in some position
+  ``i ≥ 2``.  ``S_n`` is ``(n-1)``-regular with connectivity ``n - 1`` and
+  diagnosability ``n - 1`` for ``n ≥ 4`` (Zheng et al. [28]).
+* ``S_{n,k}`` (Chiang & Chen [9]): nodes are the ``k``-arrangements of
+  ``{1, .., n}``; node ``u`` is adjacent to the arrangements obtained by
+  (a) swapping the first symbol with the symbol in position ``i``
+  (``2 ≤ i ≤ k``, the *i-edges*) and (b) replacing the first symbol by any of
+  the ``n - k`` symbols not appearing in ``u`` (the *1-edges*).  ``S_{n,k}``
+  is ``(n-1)``-regular with connectivity ``n - 1`` and diagnosability
+  ``n - 1`` (paper Theorem 5).  ``S_{n,n-1}`` is isomorphic to ``S_n`` and
+  ``S_{n,1}`` is the complete graph ``K_n``.
+
+Fixing the symbol in the final position partitions either graph into ``n``
+copies of the same family one dimension lower (the partition the paper's
+Theorem 5 uses); this is provided by
+:class:`~repro.networks.base.PermutationNetwork`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .base import PermutationNetwork
+
+__all__ = ["StarGraph", "NKStarGraph"]
+
+
+class NKStarGraph(PermutationNetwork):
+    """The (n,k)-star graph ``S_{n,k}``."""
+
+    family = "nk_star"
+
+    def __init__(self, n: int, k: int) -> None:
+        if not 1 <= k <= n - 1:
+            raise ValueError("the (n,k)-star graph requires 1 <= k <= n - 1")
+        super().__init__(n, k)
+
+    # ------------------------------------------------------------------ edges
+    def _label_neighbors(self, label: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        # i-edges: swap position 0 with position i.
+        for i in range(1, self.k):
+            swapped = list(label)
+            swapped[0], swapped[i] = swapped[i], swapped[0]
+            yield tuple(swapped)
+        # 1-edges: replace the first symbol with an unused symbol.
+        used = set(label)
+        for symbol in range(1, self.n + 1):
+            if symbol not in used:
+                yield (symbol,) + label[1:]
+
+    # --------------------------------------------------------------- metadata
+    def degree(self, v: int) -> int:
+        return self.n - 1
+
+    @property
+    def max_degree(self) -> int:
+        return self.n - 1
+
+    @property
+    def min_degree(self) -> int:
+        return self.n - 1
+
+    def diagnosability(self) -> int:
+        """Diagnosability ``n - 1`` of ``S_{n,k}`` (paper Theorem 5)."""
+        if (self.n, self.k) == (3, 2) or self.n < 4:
+            raise ValueError(
+                "diagnosability of S_{n,k} under the MM model requires n >= 4 "
+                "(and (n, k) != (3, 2))"
+            )
+        return self.n - 1
+
+    def connectivity(self) -> int:
+        return self.n - 1
+
+
+class StarGraph(PermutationNetwork):
+    """The star graph ``S_n`` on the permutations of ``{1, .., n}``."""
+
+    family = "star"
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n, n)
+
+    # ------------------------------------------------------------------ edges
+    def _label_neighbors(self, label: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        for i in range(1, self.n):
+            swapped = list(label)
+            swapped[0], swapped[i] = swapped[i], swapped[0]
+            yield tuple(swapped)
+
+    # --------------------------------------------------------------- metadata
+    def degree(self, v: int) -> int:
+        return self.n - 1
+
+    @property
+    def max_degree(self) -> int:
+        return self.n - 1
+
+    @property
+    def min_degree(self) -> int:
+        return self.n - 1
+
+    def diagnosability(self) -> int:
+        """Diagnosability ``n - 1`` of ``S_n`` for ``n ≥ 4`` (Zheng et al. [28])."""
+        if self.n < 4:
+            raise ValueError("diagnosability of S_n under the MM model requires n >= 4")
+        return self.n - 1
+
+    def connectivity(self) -> int:
+        return self.n - 1

@@ -1,0 +1,72 @@
+"""Tests for the exhaustive ground-truth diagnoser."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.baselines import AmbiguousSyndromeError, ExhaustiveDiagnoser
+from repro.core.syndrome import generate_syndrome
+from repro.networks import ExplicitNetwork, Hypercube
+
+
+@pytest.fixture
+def q4():
+    return ExplicitNetwork.from_networkx(
+        nx.convert_node_labels_to_integers(nx.hypercube_graph(4), ordering="sorted"),
+        diagnosability=4,
+        connectivity=4,
+        family="Q4",
+    )
+
+
+class TestExhaustiveDiagnoser:
+    def test_recovers_small_fault_set(self, q4):
+        faults = frozenset({1, 9})
+        syndrome = generate_syndrome(q4, faults, seed=0)
+        assert ExhaustiveDiagnoser(q4, max_faults=2).diagnose(syndrome) == faults
+
+    def test_recovers_empty_fault_set(self, q4):
+        syndrome = generate_syndrome(q4, frozenset())
+        assert ExhaustiveDiagnoser(q4, max_faults=2).diagnose(syndrome) == frozenset()
+
+    @pytest.mark.parametrize("behavior", ["all_zero", "all_one", "mimic"])
+    def test_behavior_independent(self, q4, behavior):
+        faults = frozenset({0, 15})
+        syndrome = generate_syndrome(q4, faults, behavior=behavior, seed=3)
+        assert ExhaustiveDiagnoser(q4, max_faults=2).diagnose(syndrome) == faults
+
+    def test_ambiguous_beyond_diagnosability(self):
+        # N(u) vs N(u) ∪ {u} with mimicking faulty testers is the classical
+        # ambiguity witness once the search bound exceeds the diagnosability.
+        cube = Hypercube(4)
+        faults = frozenset(cube.neighbors(0))
+        syndrome = generate_syndrome(cube, faults, behavior="mimic", seed=0)
+        with pytest.raises(AmbiguousSyndromeError) as excinfo:
+            ExhaustiveDiagnoser(cube, max_faults=len(faults) + 1).diagnose(syndrome)
+        candidates = excinfo.value.candidates
+        assert frozenset(faults) in candidates
+        assert frozenset(faults | {0}) in candidates
+
+    def test_no_consistent_candidate_raises(self, q4):
+        # Search bound smaller than the actual number of faults.
+        faults = frozenset({1, 9, 6})
+        syndrome = generate_syndrome(q4, faults, seed=0)
+        with pytest.raises(ValueError, match="no fault set"):
+            ExhaustiveDiagnoser(q4, max_faults=1).diagnose(syndrome)
+
+    def test_default_bound_is_diagnosability(self, q4):
+        diagnoser = ExhaustiveDiagnoser(q4)
+        faults = frozenset({2, 5})
+        syndrome = generate_syndrome(q4, faults, seed=1)
+        assert diagnoser.diagnose(syndrome) == faults
+
+    def test_agrees_with_general_algorithm(self):
+        from repro.core.diagnosis import diagnose
+
+        cube = Hypercube(5)
+        faults = frozenset({7, 21, 30})
+        syndrome = generate_syndrome(cube, faults, seed=5)
+        general = diagnose(cube, syndrome).faulty
+        exhaustive = ExhaustiveDiagnoser(cube, max_faults=3).diagnose(syndrome)
+        assert general == exhaustive == faults

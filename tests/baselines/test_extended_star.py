@@ -1,0 +1,115 @@
+"""Tests for the extended-star (Chiang & Tan style) local diagnoser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExtendedStarDiagnoser, build_extended_star
+from repro.core.faults import clustered_faults, random_faults
+from repro.core.syndrome import generate_syndrome, syndrome_table_size
+from repro.networks import Hypercube, StarGraph
+
+
+class TestExtendedStarStructure:
+    def test_branches_are_node_disjoint(self):
+        cube = Hypercube(7)
+        star = build_extended_star(cube, 0)
+        seen: set[int] = set()
+        for branch in star.branches:
+            assert not seen.intersection(branch)
+            seen.update(branch)
+        assert 0 not in seen
+
+    def test_branches_are_paths_from_root(self):
+        cube = Hypercube(7)
+        star = build_extended_star(cube, 5)
+        for branch in star.branches:
+            previous = 5
+            for node in branch:
+                assert cube.has_edge(previous, node)
+                previous = node
+
+    def test_one_branch_per_neighbor_on_hypercubes(self):
+        cube = Hypercube(7)
+        star = build_extended_star(cube, 0)
+        assert star.num_branches == 7
+
+    def test_depth_limits_branch_length(self):
+        cube = Hypercube(7)
+        star = build_extended_star(cube, 0, depth=2)
+        assert all(len(branch) <= 2 for branch in star.branches)
+
+    def test_nodes_include_root(self):
+        cube = Hypercube(6)
+        star = build_extended_star(cube, 3)
+        assert 3 in star.nodes()
+
+    def test_star_graph_roots(self):
+        net = StarGraph(5)
+        star = build_extended_star(net, 0)
+        assert star.num_branches == 4
+
+
+class TestExtendedStarDiagnosis:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_diagnosis_on_hypercube(self, seed):
+        cube = Hypercube(7)
+        faults = random_faults(cube, 7, seed=seed)
+        syndrome = generate_syndrome(cube, faults, seed=seed)
+        result = ExtendedStarDiagnoser(cube).diagnose(syndrome)
+        assert result.faulty == faults
+
+    @pytest.mark.parametrize("behavior", ["all_zero", "all_one", "mimic", "anti_mimic"])
+    def test_exact_diagnosis_adversarial_testers(self, behavior):
+        cube = Hypercube(7)
+        faults = clustered_faults(cube, 7, seed=4)
+        syndrome = generate_syndrome(cube, faults, behavior=behavior, seed=4)
+        result = ExtendedStarDiagnoser(cube).diagnose(syndrome)
+        assert result.faulty == faults
+
+    def test_exact_diagnosis_on_star_graph(self):
+        net = StarGraph(6)
+        faults = random_faults(net, 5, seed=8)
+        syndrome = generate_syndrome(net, faults, seed=8)
+        result = ExtendedStarDiagnoser(net).diagnose(syndrome)
+        assert result.faulty == faults
+
+    def test_healthy_network_all_locally_decided(self):
+        cube = Hypercube(7)
+        syndrome = generate_syndrome(cube, frozenset())
+        result = ExtendedStarDiagnoser(cube).diagnose(syndrome)
+        assert result.faulty == frozenset()
+        assert result.locally_decided == cube.num_nodes
+        assert result.defaulted == 0
+
+    def test_local_verdicts_are_sound(self):
+        """A node locally classified healthy/faulty is truly so."""
+        cube = Hypercube(7)
+        faults = random_faults(cube, 7, seed=3)
+        syndrome = generate_syndrome(cube, faults, seed=3)
+        diagnoser = ExtendedStarDiagnoser(cube)
+        for x in range(0, cube.num_nodes, 7):
+            verdict = diagnoser.classify_locally(syndrome, x)
+            if verdict == "healthy":
+                assert x not in faults
+            elif verdict == "faulty":
+                assert x in faults
+
+    def test_consults_large_fraction_of_table(self):
+        """Unlike Set_Builder, the per-node rule reads a table-sized number of entries."""
+        cube = Hypercube(7)
+        faults = random_faults(cube, 7, seed=0)
+        syndrome = generate_syndrome(cube, faults, seed=0)
+        result = ExtendedStarDiagnoser(cube).diagnose(syndrome)
+        # At least one chain test per (node, branch) pair.
+        assert result.lookups >= cube.num_nodes * cube.max_degree
+
+    def test_agrees_with_general_algorithm(self):
+        from repro.core.diagnosis import diagnose
+
+        cube = Hypercube(7)
+        faults = clustered_faults(cube, 6, seed=1)
+        syndrome_a = generate_syndrome(cube, faults, seed=1)
+        syndrome_b = generate_syndrome(cube, faults, seed=1)
+        assert ExtendedStarDiagnoser(cube).diagnose(syndrome_a).faulty == \
+            diagnose(cube, syndrome_b).faulty == faults

@@ -1,0 +1,105 @@
+"""Tests for Yang's cycle-decomposition diagnoser (the paper's Section 3 review)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import YangCycleDiagnoser
+from repro.core.faults import clustered_faults, random_faults
+from repro.core.syndrome import generate_syndrome
+from repro.networks import Hypercube, StarGraph
+
+
+class TestCycleDecomposition:
+    def test_cycles_partition_the_node_set(self):
+        cube = Hypercube(7)
+        diagnoser = YangCycleDiagnoser(cube)
+        cycles = diagnoser.cycles()
+        seen = [node for cycle in cycles for node in cycle]
+        assert sorted(seen) == list(range(cube.num_nodes))
+
+    def test_cycles_longer_than_dimension(self):
+        cube = Hypercube(9)
+        for cycle in YangCycleDiagnoser(cube).cycles():
+            assert len(cycle) > 9
+
+    def test_cycle_edges_exist_in_graph(self):
+        cube = Hypercube(7)
+        for cycle in YangCycleDiagnoser(cube).cycles():
+            for i in range(len(cycle)):
+                assert cube.has_edge(cycle[i], cycle[(i + 1) % len(cycle)])
+
+    def test_consecutive_cycles_joined_by_matchings(self):
+        """Fig. 1: cycles with adjacent prefixes are joined by a perfect matching."""
+        cube = Hypercube(7)
+        diagnoser = YangCycleDiagnoser(cube)
+        cycles = diagnoser.cycles()
+        m = diagnoser.sub_dimension
+        # Prefixes 0 and 1 differ in one bit, so cycle 0 and cycle 1 are joined
+        # by the dimension-m matching.
+        first, second = set(cycles[0]), set(cycles[1])
+        matched = sum(1 for v in first if (v ^ (1 << m)) in second)
+        assert matched == len(first)
+
+    def test_rejects_non_hypercube(self):
+        with pytest.raises(TypeError):
+            YangCycleDiagnoser(StarGraph(5))
+
+    def test_sub_dimension_validation(self):
+        with pytest.raises(ValueError):
+            YangCycleDiagnoser(Hypercube(7), sub_dimension=9)
+
+
+class TestYangDiagnosis:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_diagnosis_random_faults(self, seed):
+        cube = Hypercube(7)
+        faults = random_faults(cube, 7, seed=seed)
+        syndrome = generate_syndrome(cube, faults, seed=seed)
+        result = YangCycleDiagnoser(cube).diagnose(syndrome)
+        assert result.faulty == faults
+
+    @pytest.mark.parametrize("behavior", ["all_zero", "all_one", "mimic"])
+    def test_exact_diagnosis_adversarial_testers(self, behavior):
+        cube = Hypercube(8)
+        faults = clustered_faults(cube, 8, seed=2)
+        syndrome = generate_syndrome(cube, faults, behavior=behavior, seed=2)
+        result = YangCycleDiagnoser(cube).diagnose(syndrome)
+        assert result.faulty == faults
+
+    def test_healthy_network(self):
+        cube = Hypercube(7)
+        syndrome = generate_syndrome(cube, frozenset())
+        result = YangCycleDiagnoser(cube).diagnose(syndrome)
+        assert result.faulty == frozenset()
+        assert result.healthy == frozenset(range(cube.num_nodes))
+        assert result.quiet_cycle_index == 0
+
+    def test_skips_cycles_containing_faults(self):
+        cube = Hypercube(7)
+        diagnoser = YangCycleDiagnoser(cube)
+        # Put a fault on each of the first three cycles.
+        cycles = diagnoser.cycles()
+        faults = frozenset({cycles[0][0], cycles[1][3], cycles[2][5]})
+        syndrome = generate_syndrome(cube, faults, seed=0)
+        result = diagnoser.diagnose(syndrome)
+        assert result.quiet_cycle_index >= 3
+        assert result.faulty == faults
+
+    def test_lookups_recorded(self):
+        cube = Hypercube(7)
+        faults = random_faults(cube, 4, seed=1)
+        syndrome = generate_syndrome(cube, faults, seed=1)
+        result = YangCycleDiagnoser(cube).diagnose(syndrome)
+        assert result.lookups == syndrome.lookups
+
+    def test_agrees_with_general_algorithm(self):
+        from repro.core.diagnosis import diagnose
+
+        cube = Hypercube(8)
+        for seed in range(3):
+            faults = random_faults(cube, 8, seed=seed)
+            syndrome_a = generate_syndrome(cube, faults, seed=seed)
+            syndrome_b = generate_syndrome(cube, faults, seed=seed)
+            assert YangCycleDiagnoser(cube).diagnose(syndrome_a).faulty == \
+                diagnose(cube, syndrome_b).faulty

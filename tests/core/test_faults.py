@@ -1,0 +1,96 @@
+"""Tests for the fault-placement generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.faults import (
+    clustered_faults,
+    neighborhood_faults,
+    random_faults,
+    scenario_suite,
+    spread_faults,
+)
+from repro.networks import Hypercube
+
+
+class TestRandomFaults:
+    def test_size_and_range(self, q7):
+        faults = random_faults(q7, 7, seed=0)
+        assert len(faults) == 7
+        assert all(0 <= f < q7.num_nodes for f in faults)
+
+    def test_reproducible(self, q7):
+        assert random_faults(q7, 5, seed=3) == random_faults(q7, 5, seed=3)
+
+    def test_zero_faults(self, q7):
+        assert random_faults(q7, 0) == frozenset()
+
+    def test_negative_rejected(self, q7):
+        with pytest.raises(ValueError):
+            random_faults(q7, -1)
+
+    def test_too_many_rejected(self, q5):
+        with pytest.raises(ValueError):
+            random_faults(q5, q5.num_nodes + 1)
+
+
+class TestClusteredFaults:
+    def test_cluster_is_connected(self, q7):
+        faults = clustered_faults(q7, 7, seed=1)
+        assert len(faults) == 7
+        sub = q7.to_networkx().subgraph(faults)
+        assert nx.is_connected(sub)
+
+    def test_zero_faults(self, q7):
+        assert clustered_faults(q7, 0) == frozenset()
+
+    def test_single_fault(self, q7):
+        assert len(clustered_faults(q7, 1, seed=5)) == 1
+
+
+class TestNeighborhoodFaults:
+    def test_covers_neighbourhood(self):
+        cube = Hypercube(6)
+        faults = neighborhood_faults(cube, center=9)
+        assert faults == frozenset(cube.neighbors(9))
+
+    def test_partial_neighbourhood(self):
+        cube = Hypercube(6)
+        faults = neighborhood_faults(cube, center=9, count=3)
+        assert len(faults) == 3
+        assert faults.issubset(set(cube.neighbors(9)))
+
+    def test_count_exceeding_degree_rejected(self):
+        cube = Hypercube(6)
+        with pytest.raises(ValueError):
+            neighborhood_faults(cube, center=9, count=7)
+
+
+class TestSpreadFaults:
+    def test_size(self, q7):
+        faults = spread_faults(q7, 7, seed=2)
+        assert len(faults) == 7
+
+    def test_faults_pairwise_non_adjacent_when_possible(self):
+        cube = Hypercube(7)
+        faults = spread_faults(cube, 5, seed=0)
+        graph = cube.to_networkx()
+        assert graph.subgraph(faults).number_of_edges() == 0
+
+
+class TestScenarioSuite:
+    def test_suite_respects_diagnosability(self, q7):
+        delta = q7.diagnosability()
+        for scenario in scenario_suite(q7, seed=0):
+            assert scenario.size <= delta
+            assert scenario.name
+
+    def test_suite_contains_all_placements(self, q7):
+        names = {s.name.split("-")[0] for s in scenario_suite(q7, seed=0)}
+        assert names == {"random", "clustered", "spread", "neighborhood"}
+
+    def test_max_faults_cap(self, q7):
+        scenarios = list(scenario_suite(q7, seed=0, max_faults=2))
+        assert all(s.size <= 2 for s in scenarios)

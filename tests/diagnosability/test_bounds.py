@@ -1,0 +1,80 @@
+"""Tests for the diagnosability bounds and the Chang et al. condition."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.diagnosability import (
+    chang_condition,
+    indistinguishable_witness,
+    min_degree_upper_bound,
+)
+from repro.diagnosability.search import are_indistinguishable
+from repro.networks import ExplicitNetwork, Hypercube, StarGraph
+
+
+class TestMinDegreeBound:
+    def test_hypercube(self):
+        assert min_degree_upper_bound(Hypercube(7)) == 7
+
+    def test_star_graph(self):
+        assert min_degree_upper_bound(StarGraph(5)) == 4
+
+    def test_irregular_graph(self):
+        net = ExplicitNetwork.from_networkx(nx.path_graph(4))
+        assert min_degree_upper_bound(net) == 1
+
+    def test_quoted_diagnosability_never_exceeds_bound(self, small_network):
+        assert small_network.diagnosability() <= min_degree_upper_bound(small_network)
+
+
+class TestIndistinguishableWitness:
+    def test_witness_sets_differ_by_center(self):
+        cube = Hypercube(5)
+        without, with_center = indistinguishable_witness(cube, center=0)
+        assert with_center - without == {0}
+        assert without == frozenset(cube.neighbors(0))
+
+    def test_witness_sets_are_indistinguishable(self):
+        cube = Hypercube(4)
+        without, with_center = indistinguishable_witness(cube, center=3)
+        assert are_indistinguishable(cube, without, with_center)
+
+    def test_default_center_has_minimum_degree(self):
+        net = ExplicitNetwork.from_networkx(nx.star_graph(4))  # hub 0, leaves 1..4
+        without, with_center = indistinguishable_witness(net)
+        assert len(without) == 1  # the neighbourhood of a leaf is just the hub
+
+
+class TestChangCondition:
+    def test_applies_to_hypercube(self):
+        report = chang_condition(Hypercube(7))
+        assert report.applies
+        assert report.implied_diagnosability == 7
+
+    def test_applies_to_star_graph(self):
+        report = chang_condition(StarGraph(5))
+        assert report.applies
+        assert report.implied_diagnosability == 4
+
+    def test_rejects_too_small_graph(self):
+        # K_4 is 3-regular with connectivity 3 but has only 4 < 2*3+3 nodes.
+        net = ExplicitNetwork.from_networkx(nx.complete_graph(4))
+        report = chang_condition(net, connectivity=3)
+        assert not report.applies
+        assert report.implied_diagnosability is None
+
+    def test_rejects_irregular_graph(self):
+        net = ExplicitNetwork.from_networkx(nx.path_graph(10))
+        report = chang_condition(net, connectivity=1)
+        assert not report.applies
+
+    def test_condition_matches_quoted_values_for_regular_families(self, small_network):
+        """Whenever Chang et al. applies, it yields exactly the quoted diagnosability."""
+        report = chang_condition(small_network)
+        if report.applies:
+            assert report.implied_diagnosability == small_network.diagnosability()
+
+    def test_bool_conversion(self):
+        assert bool(chang_condition(Hypercube(7)))

@@ -1,0 +1,78 @@
+"""Tests for exact diagnosability search on small graphs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.diagnosability import are_indistinguishable, exact_diagnosability, is_t_diagnosable
+from repro.networks import ExplicitNetwork, Hypercube
+
+
+def explicit(graph: nx.Graph) -> ExplicitNetwork:
+    return ExplicitNetwork.from_networkx(graph)
+
+
+class TestIndistinguishability:
+    def test_identical_sets_indistinguishable(self):
+        net = explicit(nx.cycle_graph(6))
+        assert are_indistinguishable(net, {1, 2}, {1, 2})
+
+    def test_neighbourhood_construction(self):
+        cube = Hypercube(4)
+        neighborhood = frozenset(cube.neighbors(0))
+        assert are_indistinguishable(cube, neighborhood, neighborhood | {0})
+
+    def test_disjoint_singletons_distinguishable_in_cube(self):
+        cube = Hypercube(4)
+        assert not are_indistinguishable(cube, {0}, {5})
+
+    def test_symmetry(self):
+        cube = Hypercube(4)
+        a, b = frozenset({1, 2}), frozenset({1, 4})
+        assert are_indistinguishable(cube, a, b) == are_indistinguishable(cube, b, a)
+
+
+class TestExactDiagnosability:
+    def test_four_cycle_is_not_1_diagnosable(self):
+        # In C_4 a single fault cannot be told apart from a fault at the
+        # antipodal node: both testers adjacent to either candidate see the
+        # other candidate as their second neighbour.
+        net = explicit(nx.cycle_graph(4))
+        assert not is_t_diagnosable(net, 1)
+        assert exact_diagnosability(net) == 0
+
+    def test_long_cycle_is_1_but_not_2_diagnosable(self):
+        # C_8 localises a single fault, but two faults can hide each other
+        # (the minimum-degree bound of 2 is not attained).
+        net = explicit(nx.cycle_graph(8))
+        assert is_t_diagnosable(net, 1)
+        assert exact_diagnosability(net) == 1
+
+    def test_complete_graph_diagnosability(self):
+        # K_7: 6-regular, connectivity 6, but only 7 < 2*6+3 nodes, so the
+        # Chang bound does not apply; brute force gives the true value.
+        net = explicit(nx.complete_graph(7))
+        value = exact_diagnosability(net, upper_limit=3)
+        assert value >= 2
+
+    def test_q3_diagnosability_is_small(self):
+        # Q_3 has only 8 = 2*3+2 < 2*3+3 nodes: diagnosability is below 3.
+        net = explicit(nx.hypercube_graph(3))
+        assert exact_diagnosability(net, upper_limit=3) < 3
+
+    def test_petersen_graph_is_3_diagnosable(self):
+        # The Petersen graph is 3-regular, 3-connected, with 10 ≥ 2*3+3 nodes,
+        # so Chang et al. give diagnosability exactly 3; verify by search.
+        net = explicit(nx.petersen_graph())
+        assert is_t_diagnosable(net, 3)
+        assert exact_diagnosability(net) == 3
+
+    def test_diagnosability_monotone_in_t(self):
+        net = explicit(nx.petersen_graph())
+        assert is_t_diagnosable(net, 1)
+        assert is_t_diagnosable(net, 2)
+
+    def test_upper_limit_respected(self):
+        net = explicit(nx.petersen_graph())
+        assert exact_diagnosability(net, upper_limit=2) == 2

@@ -1,0 +1,175 @@
+"""Tests for the network base classes (encoding, partitions, explicit graphs)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.networks import ExplicitNetwork, Hypercube, KAryNCube, StarGraph
+from repro.networks.base import PartitionClass, PartitionScheme
+
+
+# ----------------------------------------------------------------- ExplicitNetwork
+class TestExplicitNetwork:
+    def test_round_trip_from_networkx(self):
+        graph = nx.petersen_graph()
+        net = ExplicitNetwork.from_networkx(graph, diagnosability=2)
+        assert net.num_nodes == 10
+        assert net.num_edges() == 15
+        assert sorted(net.neighbors(0)) == sorted(graph.neighbors(0))
+
+    def test_rejects_asymmetric_adjacency(self):
+        with pytest.raises(ValueError, match="not symmetric"):
+            ExplicitNetwork([[1], []])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            ExplicitNetwork([[0, 1], [0]])
+
+    def test_rejects_out_of_range_neighbor(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ExplicitNetwork([[5], [0]])
+
+    def test_diagnosability_requires_value(self):
+        net = ExplicitNetwork([[1], [0]])
+        with pytest.raises(ValueError):
+            net.diagnosability()
+        assert ExplicitNetwork([[1], [0]], diagnosability=1).diagnosability() == 1
+
+    def test_connectivity_computed_when_missing(self):
+        net = ExplicitNetwork.from_networkx(nx.cycle_graph(6))
+        assert net.connectivity() == 2
+
+    def test_partition_is_singletons(self):
+        net = ExplicitNetwork.from_networkx(nx.cycle_graph(6), diagnosability=2)
+        scheme = net.partition_scheme()
+        classes = list(scheme)
+        assert len(classes) == 6
+        assert all(cls.size == 1 for cls in classes)
+        assert {cls.representative for cls in classes} == set(range(6))
+
+    def test_len_and_repr(self):
+        net = ExplicitNetwork.from_networkx(nx.cycle_graph(4))
+        assert len(net) == 4
+        assert "ExplicitNetwork" in repr(net)
+
+    def test_edges_listed_once(self):
+        net = ExplicitNetwork.from_networkx(nx.complete_graph(5))
+        edges = list(net.edges())
+        assert len(edges) == 10
+        assert all(u < v for u, v in edges)
+
+    def test_has_edge(self):
+        net = ExplicitNetwork.from_networkx(nx.path_graph(3))
+        assert net.has_edge(0, 1)
+        assert not net.has_edge(0, 2)
+
+
+# ------------------------------------------------------------- DimensionalNetwork
+class TestDimensionalEncoding:
+    def test_label_round_trip_binary(self):
+        cube = Hypercube(6)
+        for v in [0, 1, 5, 37, 63]:
+            assert cube.node_index(cube.node_label(v)) == v
+
+    def test_label_round_trip_kary(self):
+        net = KAryNCube(3, 4)
+        for v in [0, 1, 17, 42, 63]:
+            assert net.node_index(net.node_label(v)) == v
+
+    def test_label_most_significant_first(self):
+        cube = Hypercube(4)
+        assert cube.node_label(0b1010) == (1, 0, 1, 0)
+        assert cube.node_index((1, 0, 1, 0)) == 0b1010
+
+    def test_digit_accessor(self):
+        net = KAryNCube(3, 5)
+        label = net.node_label(117)
+        for position in range(3):
+            assert net.digit(117, position) == label[2 - position]
+
+    def test_label_wrong_length_rejected(self):
+        cube = Hypercube(4)
+        with pytest.raises(ValueError, match="digits"):
+            cube.node_index((1, 0, 1))
+
+    def test_label_out_of_range_digit_rejected(self):
+        cube = Hypercube(4)
+        with pytest.raises(ValueError, match="out of range"):
+            cube.node_index((2, 0, 0, 0))
+
+    def test_dimension_and_radix_validation(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+        with pytest.raises(ValueError):
+            KAryNCube(3, 2)
+
+
+# ----------------------------------------------------------------- PartitionScheme
+class TestPartitionScheme:
+    def test_prefix_partition_structure(self):
+        cube = Hypercube(6)
+        scheme = cube.partition_scheme()
+        # δ = 6, so the smallest sub-dimension with 2^m > 6 is m = 3.
+        assert scheme.class_size == 8
+        assert scheme.num_classes == 8
+        classes = list(scheme)
+        assert len(classes) == 8
+        # Classes are contiguous integer blocks.
+        assert classes[0].members(cube) == list(range(8))
+        assert classes[3].members(cube) == list(range(24, 32))
+
+    def test_first_limits_count(self):
+        cube = Hypercube(6)
+        assert len(cube.partition_scheme().first(3)) == 3
+        assert len(cube.partition_scheme().first(100)) == 8
+
+    def test_representative_belongs_to_class(self, tiny_network):
+        try:
+            scheme = tiny_network.partition_scheme()
+        except ValueError:
+            pytest.skip("instance too small for a partition scheme")
+        for cls in scheme.first(4):
+            assert cls.contains(cls.representative)
+
+    def test_partition_levels_escalate_class_size(self):
+        cube = Hypercube(8)
+        level0 = cube.partition_scheme(0)
+        level1 = cube.partition_scheme(1)
+        assert level1.class_size == 2 * level0.class_size
+        assert level1.num_classes == level0.num_classes // 2
+
+    def test_too_coarse_level_rejected(self):
+        cube = Hypercube(6)
+        with pytest.raises(ValueError, match="too coarse"):
+            cube.partition_scheme(cube.max_partition_level() + 5)
+
+    def test_max_partition_level_is_admissible(self, tiny_network):
+        level = tiny_network.max_partition_level()
+        assert level >= 0
+        try:
+            scheme = tiny_network.partition_scheme(level)
+        except ValueError:
+            pytest.skip("instance too small for a partition scheme")
+        assert scheme.num_classes >= 1
+
+    def test_permutation_partition_fixes_last_symbol(self):
+        star = StarGraph(5)
+        scheme = star.partition_scheme()
+        assert scheme.num_classes == 5
+        assert scheme.class_size == 24
+        for cls, symbol in zip(scheme, range(1, 6)):
+            members = cls.members(star)
+            assert len(members) == 24
+            assert all(star.node_label(v)[-1] == symbol for v in members)
+
+    def test_permutation_partition_single_level(self):
+        star = StarGraph(5)
+        with pytest.raises(ValueError):
+            star.partition_scheme(1)
+
+    def test_scheme_accepts_concrete_list(self):
+        cls = PartitionClass(representative=0, size=1, contains=lambda v: v == 0)
+        scheme = PartitionScheme([cls], num_classes=1, class_size=1)
+        assert list(scheme) == [cls]
+        assert scheme.first(5) == [cls]

@@ -1,0 +1,276 @@
+"""Structural tests for the hypercube variants of Theorem 3.
+
+Every variant must satisfy the properties the paper's argument actually uses:
+the stated regular degree, adjacency symmetry, connectivity at least the
+diagnosability (checked exactly on small instances), and a partition into
+node-disjoint connected classes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.networks import (
+    AugmentedCube,
+    CrossedCube,
+    EnhancedHypercube,
+    FoldedHypercube,
+    ShuffleCube,
+    TwistedCube,
+    TwistedNCube,
+)
+from repro.networks.crossed_cube import pair_related_partner
+from repro.networks.properties import check_partition, is_regular
+
+VARIANTS = [
+    pytest.param(CrossedCube(5), 5, id="CQ5"),
+    pytest.param(CrossedCube(6), 6, id="CQ6"),
+    pytest.param(TwistedCube(5), 5, id="TQ5"),
+    pytest.param(TwistedCube(7), 7, id="TQ7"),
+    pytest.param(FoldedHypercube(5), 6, id="FQ5"),
+    pytest.param(FoldedHypercube(6), 7, id="FQ6"),
+    pytest.param(EnhancedHypercube(5, 3), 6, id="Q5,3"),
+    pytest.param(EnhancedHypercube(6, 4), 7, id="Q6,4"),
+    pytest.param(AugmentedCube(4), 7, id="AQ4"),
+    pytest.param(AugmentedCube(5), 9, id="AQ5"),
+    pytest.param(ShuffleCube(6), 6, id="SQ6"),
+    pytest.param(TwistedNCube(5), 5, id="TQ'5"),
+    pytest.param(TwistedNCube(6), 6, id="TQ'6"),
+]
+
+
+@pytest.mark.parametrize("network, degree", VARIANTS)
+class TestVariantStructure:
+    def test_node_count(self, network, degree):
+        assert network.num_nodes == 2**network.dimension
+
+    def test_regular_of_stated_degree(self, network, degree):
+        assert is_regular(network)
+        assert network.degree(0) == degree
+        assert network.max_degree == degree
+
+    def test_no_self_loops_or_duplicates(self, network, degree):
+        for v in range(network.num_nodes):
+            neighbors = list(network.neighbors(v))
+            assert v not in neighbors
+            assert len(neighbors) == len(set(neighbors))
+
+    def test_adjacency_symmetric(self, network, degree):
+        for v in range(network.num_nodes):
+            for w in network.neighbors(v):
+                assert v in network.neighbors(w)
+
+    def test_connected(self, network, degree):
+        assert nx.is_connected(network.to_networkx())
+
+    def test_vertex_connectivity_matches_claim(self, network, degree):
+        measured = nx.node_connectivity(network.to_networkx())
+        assert measured == network.connectivity()
+
+    def test_partition_classes_valid(self, network, degree):
+        try:
+            scheme = network.partition_scheme()
+        except ValueError:
+            pytest.skip("no partition scheme at this size")
+        check_partition(network, scheme, max_classes=4)
+
+
+class TestCrossedCube:
+    def test_pair_relation_matches_table(self):
+        # R = {(00,00), (10,10), (01,11), (11,01)}
+        assert pair_related_partner(0b00) == 0b00
+        assert pair_related_partner(0b10) == 0b10
+        assert pair_related_partner(0b01) == 0b11
+        assert pair_related_partner(0b11) == 0b01
+
+    def test_cq1_and_cq2(self):
+        assert sorted(CrossedCube(1).neighbors(0)) == [1]
+        cq2 = CrossedCube(2)
+        assert all(len(cq2.neighbors(v)) == 2 for v in range(4))
+        assert nx.is_isomorphic(cq2.to_networkx(), nx.cycle_graph(4))
+
+    def test_prefix_halves_induce_crossed_cubes(self):
+        cq = CrossedCube(6)
+        graph = cq.to_networkx()
+        half = cq.num_nodes // 2
+        low = graph.subgraph(range(half))
+        high = graph.subgraph(range(half, cq.num_nodes))
+        reference = CrossedCube(5).to_networkx()
+        assert nx.is_isomorphic(low, reference)
+        assert nx.is_isomorphic(high, reference)
+
+    def test_diagnosability_requires_n_at_least_4(self):
+        with pytest.raises(ValueError):
+            CrossedCube(3).diagnosability()
+        assert CrossedCube(4).diagnosability() == 4
+
+    def test_differs_from_hypercube(self):
+        from repro.networks import Hypercube
+
+        cq = CrossedCube(4).to_networkx()
+        q = Hypercube(4).to_networkx()
+        assert set(cq.edges()) != set(q.edges())
+
+
+class TestTwistedCube:
+    def test_even_dimension_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            TwistedCube(4)
+
+    def test_partition_fixes_even_number_of_bits(self):
+        tq = TwistedCube(7)
+        scheme = tq.partition_scheme()
+        # δ = 7 -> smallest odd m with 2^m > 7 is 3, so 4 (an even number of)
+        # leading bits are fixed and the classes are copies of TQ_3.
+        assert scheme.class_size == 2**3
+        assert scheme.num_classes == 16
+        assert (tq.dimension - 3) % 2 == 0
+
+    def test_quarters_induce_smaller_twisted_cube(self):
+        tq = TwistedCube(5)
+        graph = tq.to_networkx()
+        quarter = tq.num_nodes // 4
+        reference = TwistedCube(3).to_networkx()
+        for q in range(4):
+            block = range(q * quarter, (q + 1) * quarter)
+            assert nx.is_isomorphic(graph.subgraph(block), reference)
+
+    def test_diagnosability(self):
+        assert TwistedCube(5).diagnosability() == 5
+        with pytest.raises(ValueError):
+            TwistedCube(3).diagnosability()
+
+
+class TestFoldedAndEnhanced:
+    def test_folded_contains_complement_edges(self):
+        fq = FoldedHypercube(5)
+        for v in range(fq.num_nodes):
+            assert (v ^ 0b11111) in fq.neighbors(v)
+
+    def test_folded_is_enhanced_with_k_equal_n(self):
+        fq = FoldedHypercube(5)
+        eq = EnhancedHypercube(5, 5)
+        assert set(fq.edges()) == set(eq.edges())
+
+    def test_enhanced_contains_hypercube_spanning_subgraph(self):
+        from repro.networks import Hypercube
+
+        eq = EnhancedHypercube(5, 3)
+        cube_edges = set(Hypercube(5).edges())
+        assert cube_edges.issubset(set(eq.edges()))
+
+    def test_enhanced_k_validation(self):
+        with pytest.raises(ValueError):
+            EnhancedHypercube(5, 1)
+        with pytest.raises(ValueError):
+            EnhancedHypercube(5, 6)
+
+    def test_diagnosability_is_n_plus_1(self):
+        assert FoldedHypercube(5).diagnosability() == 6
+        assert EnhancedHypercube(6, 3).diagnosability() == 7
+        with pytest.raises(ValueError):
+            FoldedHypercube(3).diagnosability()
+
+
+class TestAugmentedCube:
+    def test_recursive_structure(self):
+        aq = AugmentedCube(4)
+        graph = aq.to_networkx()
+        half = aq.num_nodes // 2
+        reference = AugmentedCube(3).to_networkx()
+        assert nx.is_isomorphic(graph.subgraph(range(half)), reference)
+        assert nx.is_isomorphic(graph.subgraph(range(half, aq.num_nodes)), reference)
+
+    def test_cross_edges_are_matching_and_complement(self):
+        aq = AugmentedCube(4)
+        half = aq.num_nodes // 2
+        for v in range(half):
+            cross = [w for w in aq.neighbors(v) if w >= half]
+            assert set(cross) == {v + half, (v ^ (half - 1)) + half}
+
+    def test_aq1_and_aq2(self):
+        assert AugmentedCube(1).degree(0) == 1
+        aq2 = AugmentedCube(2)
+        assert all(aq2.degree(v) == 3 for v in range(4))
+        assert nx.is_isomorphic(aq2.to_networkx(), nx.complete_graph(4))
+
+    def test_diagnosability(self):
+        assert AugmentedCube(5).diagnosability() == 9
+        with pytest.raises(ValueError):
+            AugmentedCube(4).diagnosability()
+
+
+class TestShuffleCube:
+    def test_dimension_validation(self):
+        for bad in (4, 5, 7, 8):
+            with pytest.raises(ValueError, match="mod 4"):
+                ShuffleCube(bad)
+
+    def test_sq2_is_a_cycle(self):
+        assert nx.is_isomorphic(ShuffleCube(2).to_networkx(), nx.cycle_graph(4))
+
+    def test_sixteen_copies_of_smaller_shuffle_cube(self):
+        sq = ShuffleCube(6)
+        graph = sq.to_networkx()
+        block = sq.num_nodes // 16
+        reference = ShuffleCube(2).to_networkx()
+        for prefix in range(16):
+            nodes = range(prefix * block, (prefix + 1) * block)
+            assert nx.is_isomorphic(graph.subgraph(nodes), reference)
+
+    def test_connectivity_at_least_diagnosability(self):
+        sq = ShuffleCube(6)
+        assert nx.node_connectivity(sq.to_networkx()) >= sq.diagnosability()
+
+    def test_diagnosability(self):
+        assert ShuffleCube(6).diagnosability() == 6
+        with pytest.raises(ValueError):
+            ShuffleCube(2).diagnosability()
+
+
+class TestTwistedNCube:
+    def test_requires_dimension_at_least_3(self):
+        with pytest.raises(ValueError):
+            TwistedNCube(2)
+
+    def test_twist_replaces_two_edges_of_q3(self):
+        from repro.networks import Hypercube
+
+        tq = TwistedNCube(3)
+        q3 = Hypercube(3)
+        ours = set(tq.edges())
+        plain = set(q3.edges())
+        removed = plain - ours
+        added = ours - plain
+        assert removed == {(0b000, 0b001), (0b100, 0b101)}
+        assert added == {(0b000, 0b101), (0b001, 0b100)}
+
+    def test_diameter_smaller_than_hypercube(self):
+        from repro.networks import Hypercube
+
+        tq = TwistedNCube(3)
+        assert nx.diameter(tq.to_networkx()) == nx.diameter(Hypercube(3).to_networkx()) - 1
+
+    def test_half_with_leading_zero_is_plain_hypercube(self):
+        from repro.networks import Hypercube
+
+        tq = TwistedNCube(5)
+        graph = tq.to_networkx()
+        half = tq.num_nodes // 2
+        assert nx.is_isomorphic(
+            graph.subgraph(range(half)), Hypercube(4).to_networkx()
+        )
+
+    def test_half_with_leading_one_is_twisted(self):
+        tq = TwistedNCube(5)
+        graph = tq.to_networkx()
+        half = tq.num_nodes // 2
+        assert nx.is_isomorphic(
+            graph.subgraph(range(half, tq.num_nodes)), TwistedNCube(4).to_networkx()
+        )
+
+    def test_diagnosability(self):
+        assert TwistedNCube(5).diagnosability() == 5
+        with pytest.raises(ValueError):
+            TwistedNCube(3).diagnosability()

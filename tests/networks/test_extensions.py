@@ -1,0 +1,115 @@
+"""Tests for the extension topologies (locally twisted cube, Möbius cube)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.diagnosis import GeneralDiagnoser
+from repro.core.faults import clustered_faults, random_faults
+from repro.core.syndrome import generate_syndrome
+from repro.networks.extensions import LocallyTwistedCube, MobiusCube
+from repro.networks.properties import check_partition, is_regular
+
+EXTENSION_INSTANCES = [
+    pytest.param(LocallyTwistedCube(5), 5, id="LTQ5"),
+    pytest.param(LocallyTwistedCube(6), 6, id="LTQ6"),
+    pytest.param(MobiusCube(5, variant=1), 5, id="1-MQ5"),
+    pytest.param(MobiusCube(5, variant=0), 5, id="0-MQ5"),
+    pytest.param(MobiusCube(6, variant=1), 6, id="1-MQ6"),
+]
+
+
+@pytest.mark.parametrize("network, degree", EXTENSION_INSTANCES)
+class TestExtensionStructure:
+    def test_regular(self, network, degree):
+        assert is_regular(network)
+        assert network.degree(0) == degree
+
+    def test_no_self_loops_or_duplicates(self, network, degree):
+        for v in range(network.num_nodes):
+            neighbors = list(network.neighbors(v))
+            assert v not in neighbors
+            assert len(neighbors) == len(set(neighbors))
+
+    def test_adjacency_symmetric(self, network, degree):
+        for v in range(network.num_nodes):
+            for w in network.neighbors(v):
+                assert v in network.neighbors(w)
+
+    def test_connected_and_connectivity_claim(self, network, degree):
+        graph = network.to_networkx()
+        assert nx.is_connected(graph)
+        assert nx.node_connectivity(graph) == network.connectivity()
+
+    def test_partition_classes_valid(self, network, degree):
+        try:
+            scheme = network.partition_scheme()
+        except ValueError:
+            pytest.skip("instance too small for a partition")
+        check_partition(network, scheme, max_classes=4)
+
+
+class TestExtensionDefinitions:
+    def test_ltq2_is_q2(self):
+        assert nx.is_isomorphic(LocallyTwistedCube(2).to_networkx(), nx.cycle_graph(4))
+
+    def test_ltq_halves_induce_smaller_ltq(self):
+        ltq = LocallyTwistedCube(5)
+        graph = ltq.to_networkx()
+        half = ltq.num_nodes // 2
+        reference = LocallyTwistedCube(4).to_networkx()
+        assert nx.is_isomorphic(graph.subgraph(range(half)), reference)
+        assert nx.is_isomorphic(graph.subgraph(range(half, ltq.num_nodes)), reference)
+
+    def test_ltq_differs_from_hypercube(self):
+        from repro.networks import Hypercube
+
+        assert set(LocallyTwistedCube(4).edges()) != set(Hypercube(4).edges())
+
+    def test_mobius_halves_induce_variant_subcubes(self):
+        mq = MobiusCube(5, variant=1)
+        graph = mq.to_networkx()
+        half = mq.num_nodes // 2
+        assert nx.is_isomorphic(graph.subgraph(range(half)),
+                                MobiusCube(4, variant=0).to_networkx())
+        assert nx.is_isomorphic(graph.subgraph(range(half, mq.num_nodes)),
+                                MobiusCube(4, variant=1).to_networkx())
+
+    def test_mobius_variant_validation(self):
+        with pytest.raises(ValueError):
+            MobiusCube(5, variant=2)
+
+    def test_diagnosability_validation(self):
+        with pytest.raises(ValueError):
+            LocallyTwistedCube(3).diagnosability()
+        with pytest.raises(ValueError):
+            MobiusCube(4).diagnosability()
+        assert LocallyTwistedCube(6).diagnosability() == 6
+        assert MobiusCube(6, variant=1).diagnosability() == 6
+        assert MobiusCube(6, variant=0).diagnosability() == 6
+
+
+class TestExtensionDiagnosis:
+    """The generic diagnoser handles the extension families unchanged."""
+
+    @pytest.mark.parametrize("network", [LocallyTwistedCube(8), MobiusCube(8, variant=1)])
+    @pytest.mark.parametrize("behavior", ["random", "mimic"])
+    def test_exact_diagnosis_at_maximum_fault_count(self, network, behavior):
+        delta = network.diagnosability()
+        faults = random_faults(network, delta, seed=3)
+        syndrome = generate_syndrome(network, faults, behavior=behavior, seed=3)
+        result = GeneralDiagnoser(network).diagnose(syndrome)
+        assert result.faulty == faults
+
+    def test_exact_diagnosis_clustered(self):
+        network = LocallyTwistedCube(8)
+        faults = clustered_faults(network, 8, seed=5)
+        syndrome = generate_syndrome(network, faults, seed=5)
+        assert GeneralDiagnoser(network).diagnose(syndrome).faulty == faults
+
+    def test_zero_mobius_cube_diagnosis(self):
+        network = MobiusCube(8, variant=0)
+        faults = random_faults(network, network.diagnosability(), seed=9)
+        syndrome = generate_syndrome(network, faults, seed=9)
+        assert GeneralDiagnoser(network).diagnose(syndrome).faulty == faults

@@ -1,0 +1,102 @@
+"""Tests for the hypercube topology and its helpers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.networks import Hypercube, gray_code_cycle
+
+
+class TestHypercubeStructure:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7])
+    def test_node_count(self, n):
+        assert Hypercube(n).num_nodes == 2**n
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_regular_of_degree_n(self, n):
+        cube = Hypercube(n)
+        assert cube.max_degree == n
+        assert cube.min_degree == n
+        assert all(len(cube.neighbors(v)) == n for v in range(cube.num_nodes))
+
+    def test_neighbors_differ_in_one_bit(self):
+        cube = Hypercube(6)
+        for v in [0, 13, 63]:
+            for w in cube.neighbors(v):
+                assert cube.hamming_distance(v, w) == 1
+
+    def test_adjacency_symmetric(self):
+        cube = Hypercube(5)
+        for u, v in cube.edges():
+            assert u in cube.neighbors(v)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_matches_networkx_hypercube(self, n):
+        ours = Hypercube(n).to_networkx()
+        reference = nx.convert_node_labels_to_integers(
+            nx.hypercube_graph(n), ordering="sorted"
+        )
+        assert nx.is_isomorphic(ours, reference)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_vertex_connectivity_equals_n(self, n):
+        assert nx.node_connectivity(Hypercube(n).to_networkx()) == n
+
+    def test_edge_count(self):
+        cube = Hypercube(6)
+        assert cube.num_edges() == 6 * 2**6 // 2
+
+
+class TestHypercubeMetadata:
+    def test_diagnosability_equals_n(self):
+        assert Hypercube(7).diagnosability() == 7
+        assert Hypercube(5).diagnosability() == 5
+
+    def test_diagnosability_undefined_below_5(self):
+        with pytest.raises(ValueError, match="n >= 5"):
+            Hypercube(4).diagnosability()
+
+    def test_connectivity_equals_n(self):
+        assert Hypercube(9).connectivity() == 9
+
+
+class TestSubcubes:
+    def test_subcube_nodes_fix_prefix(self):
+        cube = Hypercube(6)
+        nodes = cube.subcube_nodes((1, 0, 1), 3)
+        assert len(nodes) == 8
+        for v in nodes:
+            assert cube.node_label(v)[:3] == (1, 0, 1)
+
+    def test_subcube_requires_matching_prefix_length(self):
+        cube = Hypercube(6)
+        with pytest.raises(ValueError):
+            cube.subcube_nodes((1, 0), 3)
+
+    def test_subcube_induces_hypercube(self):
+        cube = Hypercube(6)
+        nodes = cube.subcube_nodes((0, 1, 1), 3)
+        sub = cube.to_networkx().subgraph(nodes)
+        assert nx.is_isomorphic(
+            sub, nx.convert_node_labels_to_integers(nx.hypercube_graph(3))
+        )
+
+
+class TestGrayCode:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 8])
+    def test_visits_every_node_once(self, m):
+        cycle = gray_code_cycle(m)
+        assert len(cycle) == 2**m
+        assert len(set(cycle)) == 2**m
+
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 8])
+    def test_consecutive_nodes_adjacent(self, m):
+        cycle = gray_code_cycle(m)
+        for i in range(len(cycle)):
+            a, b = cycle[i], cycle[(i + 1) % len(cycle)]
+            assert (a ^ b).bit_count() == 1
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            gray_code_cycle(0)

@@ -1,0 +1,119 @@
+"""Tests for k-ary n-cubes and augmented k-ary n-cubes (Theorem 4)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.networks import AugmentedKAryNCube, KAryNCube
+from repro.networks.kary_ncube import EXCLUDED_KARY_CASES
+from repro.networks.properties import check_partition, is_regular
+
+
+class TestKAryNCube:
+    @pytest.mark.parametrize("n,k", [(2, 3), (2, 5), (3, 3), (3, 4), (1, 7)])
+    def test_node_count(self, n, k):
+        assert KAryNCube(n, k).num_nodes == k**n
+
+    @pytest.mark.parametrize("n,k", [(2, 4), (3, 3), (2, 6)])
+    def test_regular_of_degree_2n(self, n, k):
+        net = KAryNCube(n, k)
+        assert is_regular(net)
+        assert net.degree(0) == 2 * n
+
+    def test_neighbors_differ_by_one_mod_k(self):
+        net = KAryNCube(3, 5)
+        for v in [0, 62, 124]:
+            label = net.node_label(v)
+            for w in net.neighbors(v):
+                other = net.node_label(w)
+                diffs = [(i, a, b) for i, (a, b) in enumerate(zip(label, other)) if a != b]
+                assert len(diffs) == 1
+                _, a, b = diffs[0]
+                assert (a - b) % 5 in (1, 4)
+
+    def test_adjacency_symmetric(self):
+        net = KAryNCube(2, 5)
+        for v in range(net.num_nodes):
+            for w in net.neighbors(v):
+                assert v in net.neighbors(w)
+
+    def test_matches_networkx_torus(self):
+        net = KAryNCube(2, 4)
+        reference = nx.grid_graph(dim=[4, 4], periodic=True)
+        assert nx.is_isomorphic(net.to_networkx(), reference)
+
+    @pytest.mark.parametrize("n,k", [(2, 4), (2, 5), (3, 3)])
+    def test_vertex_connectivity_is_2n(self, n, k):
+        net = KAryNCube(n, k)
+        assert nx.node_connectivity(net.to_networkx()) == 2 * n
+
+    def test_requires_k_at_least_3(self):
+        with pytest.raises(ValueError):
+            KAryNCube(3, 2)
+
+    def test_diagnosability_is_2n(self):
+        assert KAryNCube(3, 6).diagnosability() == 6
+        assert KAryNCube(2, 6).diagnosability() == 4
+
+    @pytest.mark.parametrize("k,n", sorted(EXCLUDED_KARY_CASES))
+    def test_excluded_cases_raise(self, k, n):
+        with pytest.raises(ValueError, match="excluded"):
+            KAryNCube(n, k).diagnosability()
+
+    def test_partition_classes_are_subcubes(self):
+        net = KAryNCube(3, 5)
+        scheme = net.partition_scheme()
+        assert scheme.class_size == 25  # smallest 5^m > 6 is m = 2
+        assert scheme.num_classes == 5
+        check_partition(net, scheme)
+
+
+class TestAugmentedKAryNCube:
+    @pytest.mark.parametrize("n,k", [(2, 4), (2, 5), (3, 3)])
+    def test_regular_of_degree_4n_minus_2(self, n, k):
+        net = AugmentedKAryNCube(n, k)
+        assert is_regular(net)
+        assert net.degree(0) == 4 * n - 2
+
+    def test_no_duplicate_neighbors(self):
+        net = AugmentedKAryNCube(3, 4)
+        for v in [0, 21, 63]:
+            neighbors = list(net.neighbors(v))
+            assert len(neighbors) == len(set(neighbors))
+            assert v not in neighbors
+
+    def test_adjacency_symmetric(self):
+        net = AugmentedKAryNCube(2, 5)
+        for v in range(net.num_nodes):
+            for w in net.neighbors(v):
+                assert v in net.neighbors(w)
+
+    def test_contains_kary_ncube_as_spanning_subgraph(self):
+        augmented = AugmentedKAryNCube(3, 4)
+        plain = KAryNCube(3, 4)
+        augmented_edges = set(augmented.edges())
+        assert set(plain.edges()).issubset(augmented_edges)
+
+    def test_augmented_edges_shift_lowest_digits(self):
+        net = AugmentedKAryNCube(3, 5)
+        v = net.node_index((2, 3, 4))
+        assert net.node_index((2, 4, 0)) in net.neighbors(v)  # +1 on the two lowest digits
+        assert net.node_index((3, 4, 0)) in net.neighbors(v)  # +1 on all three digits
+        assert net.node_index((1, 2, 3)) in net.neighbors(v)  # -1 on all three digits
+
+    @pytest.mark.parametrize("n,k", [(2, 4), (2, 5)])
+    def test_vertex_connectivity_is_4n_minus_2(self, n, k):
+        net = AugmentedKAryNCube(n, k)
+        assert nx.node_connectivity(net.to_networkx()) == 4 * n - 2
+
+    def test_excluded_case(self):
+        with pytest.raises(ValueError):
+            AugmentedKAryNCube(2, 3).diagnosability()
+        assert AugmentedKAryNCube(3, 4).diagnosability() == 10
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AugmentedKAryNCube(1, 4)
+        with pytest.raises(ValueError):
+            AugmentedKAryNCube(3, 2)

@@ -1,0 +1,195 @@
+"""Tests for the star, (n,k)-star, pancake and arrangement graphs (Theorems 5–7)."""
+
+from __future__ import annotations
+
+from math import factorial
+
+import networkx as nx
+import pytest
+
+from repro.networks import ArrangementGraph, NKStarGraph, PancakeGraph, StarGraph
+from repro.networks.properties import check_partition, is_regular
+
+
+class TestStarGraph:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_node_count(self, n):
+        assert StarGraph(n).num_nodes == factorial(n)
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_regular_of_degree_n_minus_1(self, n):
+        net = StarGraph(n)
+        assert is_regular(net)
+        assert net.degree(0) == n - 1
+
+    def test_neighbors_swap_first_symbol(self):
+        net = StarGraph(4)
+        v = net.node_index((1, 2, 3, 4))
+        labels = {net.node_label(w) for w in net.neighbors(v)}
+        assert labels == {(2, 1, 3, 4), (3, 2, 1, 4), (4, 2, 3, 1)}
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_vertex_connectivity(self, n):
+        assert nx.node_connectivity(StarGraph(n).to_networkx()) == n - 1
+
+    def test_vertex_transitive_structure(self):
+        # S_4 is the well-known 24-node, 3-regular star graph.
+        net = StarGraph(4)
+        graph = net.to_networkx()
+        assert nx.is_connected(graph)
+        assert nx.diameter(graph) == 4
+
+    def test_diagnosability(self):
+        assert StarGraph(5).diagnosability() == 4
+        with pytest.raises(ValueError):
+            StarGraph(3).diagnosability()
+
+    def test_partition_into_substars(self):
+        net = StarGraph(5)
+        scheme = net.partition_scheme()
+        check_partition(net, scheme)
+        # Each class induces S_4.
+        cls = scheme.first(1)[0]
+        sub = net.to_networkx().subgraph(cls.members(net))
+        assert nx.is_isomorphic(sub, StarGraph(4).to_networkx())
+
+
+class TestNKStarGraph:
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3), (6, 2)])
+    def test_node_count(self, n, k):
+        assert NKStarGraph(n, k).num_nodes == factorial(n) // factorial(n - k)
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3)])
+    def test_regular_of_degree_n_minus_1(self, n, k):
+        net = NKStarGraph(n, k)
+        assert is_regular(net)
+        assert net.degree(0) == n - 1
+
+    def test_swap_and_replace_edges(self):
+        net = NKStarGraph(5, 3)
+        v = net.node_index((1, 2, 3))
+        labels = {net.node_label(w) for w in net.neighbors(v)}
+        assert labels == {(2, 1, 3), (3, 2, 1), (4, 2, 3), (5, 2, 3)}
+
+    def test_nk_star_with_k1_is_complete_graph(self):
+        net = NKStarGraph(5, 1)
+        assert nx.is_isomorphic(net.to_networkx(), nx.complete_graph(5))
+
+    def test_nk_star_with_k_n_minus_1_is_star_graph(self):
+        net = NKStarGraph(5, 4)
+        assert nx.is_isomorphic(net.to_networkx(), StarGraph(5).to_networkx())
+
+    @pytest.mark.parametrize("n,k", [(5, 2), (5, 3)])
+    def test_vertex_connectivity(self, n, k):
+        assert nx.node_connectivity(NKStarGraph(n, k).to_networkx()) == n - 1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NKStarGraph(4, 4)
+        with pytest.raises(ValueError):
+            NKStarGraph(4, 0)
+
+    def test_diagnosability(self):
+        assert NKStarGraph(6, 3).diagnosability() == 5
+        with pytest.raises(ValueError):
+            NKStarGraph(3, 2).diagnosability()
+
+    def test_partition_classes_induce_smaller_nk_star(self):
+        net = NKStarGraph(5, 3)
+        scheme = net.partition_scheme()
+        check_partition(net, scheme)
+        cls = scheme.first(1)[0]
+        sub = net.to_networkx().subgraph(cls.members(net))
+        assert nx.is_isomorphic(sub, NKStarGraph(4, 2).to_networkx())
+
+
+class TestPancakeGraph:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_node_count(self, n):
+        assert PancakeGraph(n).num_nodes == factorial(n)
+
+    def test_neighbors_are_prefix_reversals(self):
+        net = PancakeGraph(4)
+        v = net.node_index((1, 2, 3, 4))
+        labels = {net.node_label(w) for w in net.neighbors(v)}
+        assert labels == {(2, 1, 3, 4), (3, 2, 1, 4), (4, 3, 2, 1)}
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_regular_of_degree_n_minus_1(self, n):
+        net = PancakeGraph(n)
+        assert is_regular(net)
+        assert net.degree(0) == n - 1
+
+    @pytest.mark.parametrize("n", [4, 5])
+    def test_vertex_connectivity(self, n):
+        assert nx.node_connectivity(PancakeGraph(n).to_networkx()) == n - 1
+
+    def test_p3_is_cycle(self):
+        assert nx.is_isomorphic(PancakeGraph(3).to_networkx(), nx.cycle_graph(6))
+
+    def test_diagnosability(self):
+        assert PancakeGraph(5).diagnosability() == 4
+        with pytest.raises(ValueError):
+            PancakeGraph(3).diagnosability()
+
+    def test_partition_into_smaller_pancakes(self):
+        net = PancakeGraph(5)
+        scheme = net.partition_scheme()
+        check_partition(net, scheme)
+        cls = scheme.first(1)[0]
+        sub = net.to_networkx().subgraph(cls.members(net))
+        assert nx.is_isomorphic(sub, PancakeGraph(4).to_networkx())
+
+
+class TestArrangementGraph:
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 2), (5, 3), (6, 2)])
+    def test_node_count(self, n, k):
+        assert ArrangementGraph(n, k).num_nodes == factorial(n) // factorial(n - k)
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 2), (5, 3)])
+    def test_regular_of_degree_k_times_n_minus_k(self, n, k):
+        net = ArrangementGraph(n, k)
+        assert is_regular(net)
+        assert net.degree(0) == k * (n - k)
+
+    def test_neighbors_differ_in_one_position(self):
+        net = ArrangementGraph(5, 3)
+        v = net.node_index((1, 2, 3))
+        for w in net.neighbors(v):
+            label = net.node_label(w)
+            assert sum(a != b for a, b in zip((1, 2, 3), label)) == 1
+
+    def test_arrangement_n_minus_1_is_star_graph(self):
+        net = ArrangementGraph(4, 3)
+        assert nx.is_isomorphic(net.to_networkx(), StarGraph(4).to_networkx())
+
+    def test_arrangement_k1_is_complete_graph(self):
+        net = ArrangementGraph(5, 1)
+        assert nx.is_isomorphic(net.to_networkx(), nx.complete_graph(5))
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 2)])
+    def test_vertex_connectivity(self, n, k):
+        assert nx.node_connectivity(ArrangementGraph(n, k).to_networkx()) == k * (n - k)
+
+    def test_diagnosability(self):
+        assert ArrangementGraph(6, 3).diagnosability() == 9
+        with pytest.raises(ValueError):
+            ArrangementGraph(3, 2).diagnosability()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ArrangementGraph(4, 4)
+
+    def test_partition_fixes_enough_positions(self):
+        net = ArrangementGraph(6, 3)
+        scheme = net.partition_scheme()
+        # δ = 9, so one fixed position (6 classes) is not enough; two are fixed.
+        assert scheme.num_classes == 30
+        assert scheme.num_classes > net.diagnosability()
+        check_partition(net, scheme, max_classes=6)
+
+    def test_partition_levels_reduce_fixed_positions(self):
+        net = ArrangementGraph(6, 3)
+        coarse = net.partition_scheme(net.max_partition_level())
+        assert coarse.num_classes == 6
+        assert coarse.class_size == 20

@@ -1,0 +1,100 @@
+"""Tests for the network registry and the structural property checks."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.networks import (
+    FAMILIES,
+    available_families,
+    check_partition,
+    create_network,
+    default_instances,
+    verify_theorem1_preconditions,
+)
+
+
+class TestRegistry:
+    def test_all_paper_families_registered(self):
+        from repro.networks import EXTENSION_FAMILIES, PAPER_FAMILIES
+
+        assert len(PAPER_FAMILIES) == 14
+        assert set(PAPER_FAMILIES).issubset(FAMILIES)
+        assert set(EXTENSION_FAMILIES).issubset(FAMILIES)
+        assert set(available_families()) == set(FAMILIES)
+
+    def test_create_network_by_name(self):
+        net = create_network("hypercube", dimension=6)
+        assert net.num_nodes == 64
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown network family"):
+            create_network("mesh")
+
+    def test_small_instances_constructible(self):
+        instances = default_instances("small")
+        assert len(instances) == len(FAMILIES)
+        for name, net in instances.items():
+            assert net.num_nodes >= 16, name
+            # The quoted diagnosability applies to every registry instance.
+            assert net.diagnosability() >= 1
+
+    def test_medium_instances_constructible(self):
+        instances = default_instances("medium")
+        for name, net in instances.items():
+            assert net.num_nodes >= 120, name
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            default_instances("huge")
+
+    def test_specs_carry_paper_theorem(self):
+        from repro.networks import PAPER_FAMILIES
+
+        for name, spec in FAMILIES.items():
+            if name in PAPER_FAMILIES:
+                assert spec.paper_theorem.startswith("Theorem")
+            else:
+                assert "extension" in spec.paper_theorem
+
+
+class TestPropertyChecks:
+    def test_theorem1_preconditions_on_small_families(self, tiny_network):
+        compute = tiny_network.num_nodes <= 256
+        report = verify_theorem1_preconditions(tiny_network, compute_connectivity=compute)
+        assert report.regular
+        assert report.satisfies_theorem1
+        if compute:
+            assert report.connectivity_measured == report.connectivity_claimed
+
+    def test_report_row_shape(self, q5):
+        report = verify_theorem1_preconditions(q5, compute_connectivity=False)
+        row = report.as_row()
+        assert row[0] == "hypercube"
+        assert row[1] == 32
+        assert len(row) == 8
+
+    def test_check_partition_detects_bad_size(self, q5):
+        scheme = q5.partition_scheme()
+        # Tamper with the advertised size of the first class.
+        bad = list(scheme)
+        object.__setattr__(bad[0], "size", bad[0].size + 1)
+        from repro.networks.base import PartitionScheme
+
+        tampered = PartitionScheme(bad, num_classes=scheme.num_classes,
+                                   class_size=scheme.class_size)
+        with pytest.raises(AssertionError, match="size"):
+            check_partition(q5, tampered, max_classes=1)
+
+    def test_check_partition_accepts_valid_scheme(self, q5):
+        check_partition(q5, q5.partition_scheme())
+
+    def test_partition_covers_all_nodes(self, small_network):
+        try:
+            scheme = small_network.partition_scheme()
+        except ValueError:
+            pytest.skip("no partition scheme for this instance")
+        if small_network.num_nodes > 1500:
+            pytest.skip("too large for the exhaustive coverage check")
+        check_partition(small_network, scheme)

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_diagnose_defaults(self):
+        args = build_parser().parse_args(["diagnose"])
+        assert args.family == "hypercube"
+        assert args.placement == "random"
+
+    def test_param_parsing_errors_surface(self):
+        with pytest.raises(SystemExit):
+            main(["diagnose", "--family", "unknown_family"])
+
+
+class TestCommands:
+    def test_diagnose_hypercube(self, capsys):
+        code = main(["diagnose", "--family", "hypercube", "--param", "dimension=7",
+                     "--faults", "5", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "correct          : True" in out
+
+    def test_diagnose_clustered_star(self, capsys):
+        code = main(["diagnose", "--family", "star", "--param", "n=5",
+                     "--placement", "clustered", "--behavior", "mimic"])
+        assert code == 0
+        assert "diagnosed faults" in capsys.readouterr().out
+
+    def test_diagnose_uses_registry_small_defaults(self, capsys):
+        code = main(["diagnose", "--family", "pancake", "--faults", "2"])
+        assert code == 0
+
+    def test_properties_command(self, capsys):
+        code = main(["properties", "--family", "hypercube", "--param", "dimension=6",
+                     "--exact-connectivity"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "full syndrome table size" in out
+
+    def test_survey_command(self, capsys):
+        code = main(["survey", "--size", "small", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Survey" in out
+        assert out.count("yes") >= 14

@@ -1,0 +1,53 @@
+"""Tests for the workload sweeps used by the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    cube_variant_sweep,
+    hypercube_sweep,
+    kary_sweep,
+    permutation_sweep,
+)
+
+
+class TestSweeps:
+    def test_hypercube_sweep_dimensions(self):
+        points = hypercube_sweep(dimensions=(7, 8), seed=1)
+        assert [p.label for p in points] == ["Q_7", "Q_8"]
+        assert [p.num_nodes for p in points] == [128, 256]
+
+    def test_every_point_has_max_size_scenarios(self):
+        for point in hypercube_sweep(dimensions=(7,)):
+            delta = point.network.diagnosability()
+            assert {s.name for s in point.scenarios} == {"random-max", "clustered-max"}
+            assert all(s.size == delta for s in point.scenarios)
+
+    def test_cube_variant_sweep_covers_theorem3_families(self):
+        families = {p.network.family for p in cube_variant_sweep()}
+        assert families == {
+            "crossed_cube", "twisted_cube", "folded_hypercube", "enhanced_hypercube",
+            "augmented_cube", "shuffle_cube", "twisted_n_cube",
+        }
+
+    def test_kary_sweep_covers_theorem4_families(self):
+        families = {p.network.family for p in kary_sweep()}
+        assert families == {"kary_ncube", "augmented_kary_ncube"}
+
+    def test_permutation_sweep_covers_theorems_5_to_7(self):
+        families = {p.network.family for p in permutation_sweep()}
+        assert families == {"star", "nk_star", "pancake", "arrangement"}
+
+    def test_scenarios_respect_diagnosability(self):
+        for sweep in (cube_variant_sweep, kary_sweep, permutation_sweep):
+            for point in sweep():
+                delta = point.network.diagnosability()
+                for scenario in point.scenarios:
+                    assert scenario.size <= delta
+
+    def test_seed_reproducibility(self):
+        a = permutation_sweep(seed=3)
+        b = permutation_sweep(seed=3)
+        for pa, pb in zip(a, b):
+            assert [s.faults for s in pa.scenarios] == [s.faults for s in pb.scenarios]
