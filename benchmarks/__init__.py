@@ -1,0 +1,1 @@
+"""Benchmark package (enables the relative conftest imports)."""

@@ -1,0 +1,145 @@
+"""Backend benchmark: compiled flat-array diagnosis vs the object reference path.
+
+Two modes:
+
+* under pytest (``pytest benchmarks -o python_files='bench_*.py'``) the
+  compiled and uncompiled paths are benchmarked on a 12-cube with
+  ``pytest-benchmark`` statistics;
+* as a script (``PYTHONPATH=src python benchmarks/bench_backend.py``) it
+  measures the 14-cube head-to-head the tentpole targets — legacy
+  ``TableSyndrome`` + object traversal vs ``ArraySyndrome`` + compiled CSR —
+  and writes the result to ``BENCH_e1.json`` at the repository root, seeding
+  the performance trajectory for subsequent PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.diagnosis import GeneralDiagnoser
+from repro.core.faults import random_faults
+from repro.core.syndrome import generate_syndrome
+from repro.networks.registry import compiled_network
+
+
+def _instance(backend: str):
+    cube, _ = compiled_network("hypercube", dimension=12)
+    faults = random_faults(cube, 12, seed=12)
+    return cube, faults, generate_syndrome(cube, faults, seed=12, backend=backend)
+
+
+def test_compiled_diagnosis(benchmark):
+    cube, faults, syndrome = _instance("array")
+    diagnoser = GeneralDiagnoser(cube)
+
+    result = benchmark(diagnoser.diagnose, syndrome)
+
+    assert result.faulty == faults
+    benchmark.extra_info["experiment"] = "E1-backend"
+    benchmark.extra_info["path"] = "compiled"
+
+
+def test_uncompiled_diagnosis(benchmark):
+    cube, faults, syndrome = _instance("table")
+    diagnoser = GeneralDiagnoser(cube, compiled=False)
+
+    result = benchmark(diagnoser.diagnose, syndrome)
+
+    assert result.faulty == faults
+    benchmark.extra_info["experiment"] = "E1-backend"
+    benchmark.extra_info["path"] = "uncompiled"
+
+
+def test_array_syndrome_generation(benchmark):
+    cube, csr = compiled_network("hypercube", dimension=12)
+    faults = random_faults(cube, 12, seed=12)
+    from repro.backend import ArraySyndrome
+
+    syndrome = benchmark(ArraySyndrome.from_faults, csr, faults, seed=12)
+    assert len(syndrome) == csr.num_pairs
+
+
+# ----------------------------------------------------------------- script mode
+def _best_of(fn, repetitions: int) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_dimension(n: int, *, seed: int = 1, repetitions: int = 5) -> dict:
+    """Head-to-head legacy vs compiled diagnosis on ``Q_n`` with ``n`` faults."""
+    cube, csr = compiled_network("hypercube", dimension=n)
+    faults = random_faults(cube, n, seed=seed)
+
+    table_start = time.perf_counter()
+    table = generate_syndrome(cube, faults, seed=seed, full_table=True)
+    table_generation_s = time.perf_counter() - table_start
+
+    array_start = time.perf_counter()
+    array = generate_syndrome(cube, faults, seed=seed, backend="array")
+    array_generation_s = time.perf_counter() - array_start
+
+    legacy = GeneralDiagnoser(cube, compiled=False)
+    compiled = GeneralDiagnoser(cube)
+    reference = legacy.diagnose(table)
+    fast = compiled.diagnose(array)
+    assert reference.faulty == fast.faulty == faults
+    assert reference.lookups == fast.lookups
+
+    legacy_s = _best_of(lambda: legacy.diagnose(table), max(2, repetitions // 2))
+    compiled_s = _best_of(lambda: compiled.diagnose(array), repetitions)
+    return {
+        "dimension": n,
+        "num_nodes": cube.num_nodes,
+        "num_faults": len(faults),
+        "lookups": fast.lookups,
+        "legacy_diagnose_ms": round(legacy_s * 1e3, 3),
+        "compiled_diagnose_ms": round(compiled_s * 1e3, 3),
+        "diagnose_speedup": round(legacy_s / compiled_s, 2),
+        "legacy_syndrome_generation_ms": round(table_generation_s * 1e3, 3),
+        "array_syndrome_generation_ms": round(array_generation_s * 1e3, 3),
+        "syndrome_generation_speedup": round(table_generation_s / array_generation_s, 1),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    dimensions = [int(a) for a in (argv or [])] or [12, 14]
+    results = [measure_dimension(n) for n in dimensions]
+    headline = results[-1]
+    payload = {
+        "benchmark": "bench_backend",
+        "experiment": "E1",
+        "description": (
+            "GeneralDiagnoser.diagnose head-to-head: object path + dict table "
+            "syndrome (pre-backend baseline) vs compiled CSR + flat ArraySyndrome"
+        ),
+        "target_speedup": 5.0,
+        "headline_dimension": headline["dimension"],
+        "headline_speedup": headline["diagnose_speedup"],
+        "target_met": headline["diagnose_speedup"] >= 5.0,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_e1.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    for row in results:
+        print(
+            f"Q_{row['dimension']}: legacy {row['legacy_diagnose_ms']:.1f} ms, "
+            f"compiled {row['compiled_diagnose_ms']:.1f} ms "
+            f"({row['diagnose_speedup']}x); syndrome generation "
+            f"{row['syndrome_generation_speedup']}x faster"
+        )
+    print(f"wrote {out}")
+    return 0 if payload["target_met"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,9 +1,11 @@
 """Shared helpers for the benchmark harness.
 
-Every benchmark measures the diagnosis step only: the syndrome is materialised
-as a full table beforehand, which matches the paper's setting ("the syndrome
-has already been obtained") and makes the comparison across algorithms fair
-(all of them read from the same O(1)-lookup table).
+Every benchmark measures the diagnosis step only: the syndrome is fully
+materialised beforehand, which matches the paper's setting ("the syndrome has
+already been obtained") and makes the comparison across algorithms fair (all
+of them read from the same O(1)-lookup store).  The default realisation is
+the flat-array backend (:class:`repro.backend.array_syndrome.ArraySyndrome`);
+pass ``backend="table"`` for the dict-backed table the pre-backend code used.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.faults import random_faults
-from repro.core.syndrome import TableSyndrome, generate_syndrome
+from repro.core.syndrome import Syndrome, generate_syndrome
 from repro.networks.base import InterconnectionNetwork
 
 _syndrome_cache: dict = {}
@@ -24,16 +26,17 @@ def prepared_instance(
     fault_count: int | None = None,
     seed: int = 0,
     behavior: str = "random",
-) -> tuple[frozenset[int], TableSyndrome]:
-    """Inject faults and materialise the full syndrome table (cached per call site)."""
+    backend: str = "array",
+) -> tuple[frozenset[int], Syndrome]:
+    """Inject faults and materialise the full syndrome (cached per call site)."""
     if faults is None:
         delta = network.diagnosability()
         count = delta if fault_count is None else fault_count
         faults = random_faults(network, count, seed=seed)
-    key = (id(network), faults, seed, behavior)
+    key = (id(network), faults, seed, behavior, backend)
     if key not in _syndrome_cache:
         _syndrome_cache[key] = generate_syndrome(
-            network, faults, behavior=behavior, seed=seed, full_table=True
+            network, faults, behavior=behavior, seed=seed, backend=backend
         )
     return faults, _syndrome_cache[key]
 

@@ -1,0 +1,12 @@
+"""Flat-array performance backend: compiled CSR topologies and array syndromes.
+
+This package is the single fast substrate under the core algorithms, the
+experiment runners, the distributed simulator and the baselines (see
+README.md, "Performance architecture").  It deliberately has no dependency on
+the object topology layer beyond ``num_nodes``/``neighbors``.
+"""
+
+from .array_syndrome import ArraySyndrome
+from .csr import CSRAdjacency, compile_network
+
+__all__ = ["CSRAdjacency", "ArraySyndrome", "compile_network"]

@@ -1,0 +1,171 @@
+"""Flat-array syndrome storage for the MM model.
+
+:class:`ArraySyndrome` stores every comparison-test result ``s_u(v, w)`` in a
+single flat byte buffer, indexed by the dense *pair layout* of the compiled
+topology (:class:`~repro.backend.csr.CSRAdjacency`): tester ``u``'s result for
+the pair at sorted-row positions ``(i, j)`` with ``i < j`` lives at
+
+    ``pair_base[u] + i·(2·deg(u) − i − 1)/2 + (j − i − 1)``
+
+so a lookup is a handful of integer operations instead of a tuple hash into a
+dict.  The class still derives from :class:`~repro.core.syndrome.Syndrome`, so
+everything written against the abstract oracle (the baselines, the verifier,
+the lookup-count accounting of experiment E5/E6) keeps working unchanged — the
+flat buffer is the fast substrate, the ``Syndrome`` API is the thin adapter.
+
+Generation from a hidden fault set is vectorised over the whole buffer for
+healthy testers; faulty testers are filled per the configured
+:class:`~repro.core.syndrome.FaultyTesterBehavior` in the exact canonical
+order of ``LazySyndrome.materialize()`` (testers ascending, sorted rows, pairs
+``(i, j)`` with ``i < j``), so an ``ArraySyndrome`` agrees entry-for-entry
+with a materialised :class:`~repro.core.syndrome.TableSyndrome` built from the
+same faults, behaviour and seed.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..core.syndrome import FaultyTesterBehavior, Syndrome, TableSyndrome
+from .csr import CSRAdjacency, compile_network
+
+__all__ = ["ArraySyndrome"]
+
+
+def pair_offset(i: int, j: int, degree: int) -> int:
+    """Slot offset of the pair at sorted-row positions ``i < j`` of a tester."""
+    return i * (2 * degree - i - 1) // 2 + (j - i - 1)
+
+
+class ArraySyndrome(Syndrome):
+    """A complete syndrome stored as one flat byte buffer over the pair layout."""
+
+    def __init__(
+        self,
+        topology,
+        values,
+        *,
+        faults: Iterable[int] = frozenset(),
+    ) -> None:
+        super().__init__()
+        self.csr: CSRAdjacency = compile_network(topology)
+        buf = bytearray(values)
+        if len(buf) != self.csr.num_pairs:
+            raise ValueError(
+                f"expected {self.csr.num_pairs} test results, got {len(buf)}"
+            )
+        self._buf = buf
+        self.faults = frozenset(int(f) for f in faults)
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_faults(
+        cls,
+        topology,
+        faults: Iterable[int],
+        *,
+        behavior: FaultyTesterBehavior | str = "random",
+        seed: int | None = 0,
+    ) -> "ArraySyndrome":
+        """Generate the full syndrome of a hidden fault set (vectorised).
+
+        ``topology`` may be a network or an already compiled
+        :class:`CSRAdjacency`.  Healthy testers are filled in one numpy pass;
+        faulty testers consume the seeded generator in the canonical
+        materialisation order, reproducing ``LazySyndrome.materialize()``
+        entry for entry.
+        """
+        csr = compile_network(topology)
+        fault_set = frozenset(int(f) for f in faults)
+        for f in fault_set:
+            if not 0 <= f < csr.num_nodes:
+                raise ValueError(f"fault {f} is not a node of the network")
+        if isinstance(behavior, str):
+            behavior = FaultyTesterBehavior(behavior, seed=seed)
+        rng = random.Random(seed)
+
+        _, pv, pw = csr.pair_members()
+        mask = np.zeros(csr.num_nodes, dtype=bool)
+        if fault_set:
+            mask[list(fault_set)] = True
+        values = (mask[pv] | mask[pw]).astype(np.uint8)
+
+        pair_indptr = csr.pair_indptr
+        for u in sorted(fault_set):
+            lo, hi = int(pair_indptr[u]), int(pair_indptr[u + 1])
+            if lo == hi:
+                continue
+            name = behavior.name
+            if name == "all_zero":
+                values[lo:hi] = 0
+            elif name == "all_one":
+                values[lo:hi] = 1
+            elif name == "anti_mimic":
+                values[lo:hi] = 1 - values[lo:hi]
+            elif name == "mimic":
+                pass  # the healthy values already in place are the answer
+            else:
+                # Delegate per pair (consuming the rng in canonical order), so
+                # behaviours beyond the bulk-computable ones above stay in
+                # lockstep with LazySyndrome.
+                for k in range(lo, hi):
+                    values[k] = behavior.result(
+                        u, int(pv[k]), int(pw[k]), int(values[k]), rng
+                    )
+        return cls(csr, values.tobytes(), faults=fault_set)
+
+    @classmethod
+    def from_syndrome(cls, topology, syndrome: Syndrome) -> "ArraySyndrome":
+        """Re-encode any syndrome oracle into the flat pair layout.
+
+        Reads every entry through the oracle's raw ``_result`` (no lookup
+        counting), in the canonical order — for a ``LazySyndrome`` this
+        extends its cache exactly like ``materialize()`` would.
+        """
+        csr = compile_network(topology)
+        values = bytearray(csr.num_pairs)
+        k = 0
+        for u, row in enumerate(csr.rows):
+            d = len(row)
+            for i in range(d):
+                v = row[i]
+                for j in range(i + 1, d):
+                    values[k] = syndrome._result(u, v, row[j])
+                    k += 1
+        return cls(csr, values, faults=getattr(syndrome, "faults", frozenset()))
+
+    # ---------------------------------------------------------------- oracle
+    def _result(self, u: int, v: int, w: int) -> int:
+        csr = self.csr
+        row = csr.rows[u]
+        d = len(row)
+        i = bisect_left(row, v)
+        j = bisect_left(row, w)
+        if i >= d or row[i] != v or j >= d or row[j] != w:
+            raise KeyError((u, v, w))
+        return self._buf[csr.pair_base[u] + pair_offset(i, j, d)]
+
+    @property
+    def buffer(self) -> bytearray:
+        """The raw result buffer (read-only by convention; used by fast paths)."""
+        return self._buf
+
+    # ----------------------------------------------------------- conversions
+    def __len__(self) -> int:
+        """Number of entries in the full syndrome table."""
+        return self.csr.num_pairs
+
+    def items(self) -> Iterator[tuple[tuple[int, int, int], int]]:
+        """Iterate ``((u, v, w), result)`` pairs (table-scanning callers)."""
+        pu, pv, pw = self.csr.pair_members()
+        buf = self._buf
+        for k in range(self.csr.num_pairs):
+            yield (int(pu[k]), int(pv[k]), int(pw[k])), buf[k]
+
+    def to_table(self) -> TableSyndrome:
+        """Export as a dict-backed :class:`TableSyndrome` (tests, adapters)."""
+        return TableSyndrome(dict(self.items()))

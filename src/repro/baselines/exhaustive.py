@@ -67,6 +67,8 @@ class ExhaustiveDiagnoser:
         bound = self.max_faults
         if bound is None:
             bound = self.network.diagnosability()
+        # consistent_fault_sets compiles the topology once (memoized on the
+        # instance), so enumerating many candidates shares one adjacency.
         candidates = consistent_fault_sets(self.network, syndrome, bound)
         if not candidates:
             raise ValueError("no fault set of admissible size is consistent with the syndrome")

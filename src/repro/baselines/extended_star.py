@@ -38,6 +38,7 @@ from collections import deque
 from dataclasses import dataclass
 from itertools import product
 
+from ..backend.csr import compile_network
 from ..core.syndrome import Syndrome
 from ..networks.base import InterconnectionNetwork
 
@@ -76,15 +77,16 @@ def build_extended_star(
     # The root and all its neighbours are reserved up front so that every
     # neighbour can seed its own branch (one branch per dimension, as in the
     # paper's Fig. 2) and no branch strays through another branch's seed.
+    rows = compile_network(network).rows  # sorted rows: deterministic growth order
     used: set[int] = {root}
-    used.update(network.neighbors(root))
+    used.update(rows[root])
     branches: list[tuple[int, ...]] = []
-    for first in sorted(network.neighbors(root)):
+    for first in rows[root]:
         branch = [first]
         current = first
         while len(branch) < depth:
             extension = next(
-                (v for v in sorted(network.neighbors(current)) if v not in used),
+                (v for v in rows[current] if v not in used),
                 None,
             )
             if extension is None:
@@ -208,14 +210,15 @@ class ExtendedStarDiagnoser:
         locally_decided = network.num_nodes - len(ambiguous)
 
         # Propagation pass for the locally ambiguous nodes.
+        rows = compile_network(network).rows
         propagated = 0
         queue = deque(sorted(healthy))
         while queue:
             y = queue.popleft()
-            witness = next((w for w in network.neighbors(y) if w in healthy), None)
+            witness = next((w for w in rows[y] if w in healthy), None)
             if witness is None:
                 continue
-            for z in network.neighbors(y):
+            for z in rows[y]:
                 if z == witness or z not in ambiguous:
                     continue
                 ambiguous.discard(z)

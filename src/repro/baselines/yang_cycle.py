@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..backend.csr import compile_network
 from ..core.syndrome import Syndrome
 from ..networks.hypercube import Hypercube, gray_code_cycle
 
@@ -110,14 +111,15 @@ class YangCycleDiagnoser:
         diagnosed = set(healthy)
 
         # Worklist of healthy nodes whose neighbours may still need diagnosing.
+        rows = compile_network(network).rows
         queue = deque(sorted(healthy))
         while queue:
             y = queue.popleft()
             # A healthy tester needs a known-healthy co-witness.
-            witness = next((w for w in network.neighbors(y) if w in healthy), None)
+            witness = next((w for w in rows[y] if w in healthy), None)
             if witness is None:
                 continue
-            for z in network.neighbors(y):
+            for z in rows[y]:
                 if z in diagnosed or z == witness:
                     continue
                 if syndrome.lookup(y, z, witness) == 0:

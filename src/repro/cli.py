@@ -25,7 +25,7 @@ from .core.diagnosis import GeneralDiagnoser
 from .core.faults import clustered_faults, random_faults
 from .core.syndrome import generate_syndrome, syndrome_table_size
 from .networks.properties import verify_theorem1_preconditions
-from .networks.registry import FAMILIES, available_families, create_network
+from .networks.registry import FAMILIES, available_families, cached_network
 
 __all__ = ["main", "build_parser"]
 
@@ -59,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["random", "all_zero", "all_one", "mimic", "anti_mimic"],
                       help="how faulty testers answer their comparison tests")
     diag.add_argument("--seed", type=int, default=0)
+    diag.add_argument("--syndrome", choices=["array", "lazy", "table"], default="array",
+                      help="syndrome realisation: flat-array backend (default), lazy "
+                           "on-demand, or dict table")
+    diag.add_argument("--uncompiled", action="store_true",
+                      help="run the object-based reference path instead of the "
+                           "compiled flat-array backend (for A/B comparison)")
 
     survey = sub.add_parser("survey", help="diagnose one instance of every family")
     survey.add_argument("--size", choices=["small", "medium"], default="small")
@@ -76,15 +82,16 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
     if not params:
         params = dict(FAMILIES[args.family].small)
-    network = create_network(args.family, **params)
+    network = cached_network(args.family, **params)
     delta = network.diagnosability()
     count = delta if args.faults is None else args.faults
     if args.placement == "random":
         faults = random_faults(network, count, seed=args.seed)
     else:
         faults = clustered_faults(network, count, seed=args.seed)
-    syndrome = generate_syndrome(network, faults, behavior=args.behavior, seed=args.seed)
-    result = GeneralDiagnoser(network).diagnose(syndrome)
+    syndrome = generate_syndrome(network, faults, behavior=args.behavior, seed=args.seed,
+                                 backend=args.syndrome)
+    result = GeneralDiagnoser(network, compiled=not args.uncompiled).diagnose(syndrome)
     correct = result.faulty == faults
 
     print(f"network          : {args.family} {params} (N={network.num_nodes}, Δ={network.max_degree})")
@@ -103,10 +110,10 @@ def _cmd_survey(args: argparse.Namespace) -> int:
     exit_code = 0
     for name, spec in sorted(FAMILIES.items()):
         params = spec.small if args.size == "small" else spec.medium
-        network = spec.constructor(**params)
+        network = cached_network(name, **params)
         delta = network.diagnosability()
         faults = random_faults(network, delta, seed=args.seed)
-        syndrome = generate_syndrome(network, faults, seed=args.seed)
+        syndrome = generate_syndrome(network, faults, seed=args.seed, backend="array")
         result = GeneralDiagnoser(network).diagnose(syndrome)
         correct = result.faulty == faults
         if not correct:
@@ -125,7 +132,7 @@ def _cmd_properties(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
     if not params:
         params = dict(FAMILIES[args.family].small)
-    network = create_network(args.family, **params)
+    network = cached_network(args.family, **params)
     report = verify_theorem1_preconditions(network, compute_connectivity=args.exact_connectivity)
     print(format_table(
         ["family", "N", "degree", "regular", "δ", "κ (claimed)", "κ (measured)", "Theorem 1 applies"],

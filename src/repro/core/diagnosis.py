@@ -37,6 +37,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..backend.csr import compile_network
 from ..networks.base import InterconnectionNetwork, PartitionClass
 from .set_builder import SetBuilderResult, certificate_node_budget, set_builder
 from .syndrome import Syndrome
@@ -133,6 +134,11 @@ class GeneralDiagnoser:
     fallback_probe_budget:
         Node budget of each fallback probe; defaults to
         :func:`certificate_node_budget`.
+    compiled:
+        If True (default), compile the topology to the flat-array backend on
+        construction; every ``Set_Builder`` run and the final boundary
+        computation then operate on the compiled arrays.  ``False`` selects
+        the original object-based reference path.
     """
 
     def __init__(
@@ -143,6 +149,7 @@ class GeneralDiagnoser:
         max_probes_per_level: int | None = None,
         use_partition: bool = True,
         fallback_probe_budget: int | None = None,
+        compiled: bool = True,
     ) -> None:
         self.network = network
         self.delta = network.diagnosability() if diagnosability is None else int(diagnosability)
@@ -151,6 +158,8 @@ class GeneralDiagnoser:
         self.max_probes_per_level = max_probes_per_level
         self.use_partition = use_partition
         self.fallback_probe_budget = fallback_probe_budget
+        self.compiled = compiled
+        self.csr = compile_network(network) if compiled else None
 
     # ----------------------------------------------------------- root search
     def find_healthy_root(
@@ -199,6 +208,7 @@ class GeneralDiagnoser:
             diagnosability=self.delta,
             restrict=cls.contains,
             stop_on_certificate=True,
+            compiled=self.compiled,
         )
         record = ProbeRecord(
             start=cls.representative,
@@ -217,7 +227,8 @@ class GeneralDiagnoser:
         network = self.network
         budget = self.fallback_probe_budget
         if budget is None:
-            budget = certificate_node_budget(self.delta, network.max_degree)
+            max_degree = self.csr.max_degree if self.csr is not None else network.max_degree
+            budget = certificate_node_budget(self.delta, max_degree)
         budget = min(budget, network.num_nodes)
         # δ + 1 distinct start nodes spread across the node range: at most δ
         # of them can be faulty.
@@ -242,6 +253,7 @@ class GeneralDiagnoser:
                     diagnosability=self.delta,
                     max_nodes=max_nodes,
                     stop_on_certificate=True,
+                    compiled=self.compiled,
                 )
                 probes.append(
                     ProbeRecord(
@@ -270,9 +282,13 @@ class GeneralDiagnoser:
             syndrome,
             root,
             diagnosability=self.delta,
+            compiled=self.compiled,
         )
         healthy = final.nodes
-        faulty = self._boundary(healthy)
+        if self.csr is not None and final.member_mask is not None:
+            faulty = self.csr.boundary(final.member_mask)
+        else:
+            faulty = self._boundary(healthy)
 
         elapsed = time.perf_counter() - start_time
         return DiagnosisResult(
@@ -288,6 +304,8 @@ class GeneralDiagnoser:
 
     def _boundary(self, healthy: set[int]) -> set[int]:
         """Nodes adjacent to the healthy set but outside it (Theorem 1: the fault set)."""
+        if self.csr is not None:
+            return self.csr.boundary(healthy)
         boundary: set[int] = set()
         network = self.network
         for u in healthy:

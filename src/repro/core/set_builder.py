@@ -23,15 +23,45 @@ This module implements the procedure verbatim, plus two practical controls the
 surrounding driver uses: an optional membership restriction (the paper's
 ``Set_Builder(u0, H)``), an optional node budget, and optional early exit once
 the certificate fires.
+
+Execution backends
+------------------
+The procedure compiles the topology on entry
+(:func:`repro.backend.csr.compile_network`, memoized per instance) and then
+selects the fastest applicable implementation:
+
+* an **array** path when the syndrome is an
+  :class:`~repro.backend.array_syndrome.ArraySyndrome` over the same compiled
+  topology — neighbour rows and test results are flat arrays, membership is a
+  byte mask, and each lookup is pure integer arithmetic;
+* a **rows** path for any other :class:`Syndrome` — adjacency comes from the
+  compiled rows (no per-call list building) while results go through the
+  abstract oracle;
+* the original **object** path (``compiled=False``) that consults
+  ``network.neighbors`` per call — kept as the reference implementation the
+  property tests and the backend benchmark compare against.
+
+All paths implement the same procedure and produce identical results (and
+identical lookup counts) on non-truncated runs; under a ``max_nodes`` budget
+the identity of the truncated frontier may differ between paths because the
+object path visits neighbours in topology order while the compiled paths use
+sorted rows.  The ``all_healthy`` certificate is sound on every path.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Sequence
 
+import numpy as np
+
+from ..backend.csr import compile_network
 from ..networks.base import InterconnectionNetwork
 from .syndrome import Syndrome
+
+if TYPE_CHECKING:  # pragma: no cover - the runtime import is deferred (cycle)
+    from ..backend.array_syndrome import ArraySyndrome
 
 __all__ = ["SetBuilderResult", "set_builder", "certificate_node_budget"]
 
@@ -72,6 +102,9 @@ class SetBuilderResult:
     rounds: int
     lookups: int
     truncated: bool = False
+    #: boolean membership mask over all nodes (only set by the vectorised
+    #: path; lets the driver compute the boundary without rebuilding a mask)
+    member_mask: object = field(default=None, compare=False, repr=False)
 
     @property
     def size(self) -> int:
@@ -112,6 +145,7 @@ def set_builder(
     restrict: Callable[[int], bool] | None = None,
     max_nodes: int | None = None,
     stop_on_certificate: bool = False,
+    compiled: bool = True,
 ) -> SetBuilderResult:
     """Run ``Set_Builder(u0)`` (or ``Set_Builder(u0, H)`` when ``restrict`` is given).
 
@@ -135,6 +169,10 @@ def set_builder(
         the ``all_healthy`` certificate remains sound).
     stop_on_certificate:
         If True, growth stops as soon as the certificate fires.
+    compiled:
+        If True (default), compile the topology to the flat-array backend on
+        entry and take the fastest applicable path; if False, run the original
+        object-based reference implementation.
     """
     if diagnosability is None:
         diagnosability = network.diagnosability()
@@ -143,6 +181,46 @@ def set_builder(
     if not 0 <= u0 < network.num_nodes:
         raise ValueError(f"start node {u0} is not a node of the network")
 
+    if compiled:
+        # Deferred import: backend.array_syndrome builds on core.syndrome, so a
+        # module-level import here would close a cycle through the package
+        # __init__ chain.  After the first call this is a sys.modules hit.
+        from ..backend.array_syndrome import ArraySyndrome
+
+        csr = compile_network(network)
+        if isinstance(syndrome, ArraySyndrome) and syndrome.csr is csr:
+            if restrict is None and max_nodes is None:
+                return _set_builder_array_vectorized(
+                    csr, syndrome, u0, diagnosability, stop_on_certificate,
+                )
+            return _set_builder_array(
+                csr, syndrome, u0, diagnosability, restrict, max_nodes,
+                stop_on_certificate,
+            )
+        rows = csr.rows
+        neighbors_of: Callable[[int], Sequence[int]] = rows.__getitem__
+    else:
+        neighbors_of = network.neighbors
+    return _set_builder_oracle(
+        neighbors_of, syndrome, u0, diagnosability, restrict, max_nodes,
+        stop_on_certificate,
+    )
+
+
+def _set_builder_oracle(
+    neighbors_of: Callable[[int], Sequence[int]],
+    syndrome: Syndrome,
+    u0: int,
+    diagnosability: int,
+    restrict: Callable[[int], bool] | None,
+    max_nodes: int | None,
+    stop_on_certificate: bool,
+) -> SetBuilderResult:
+    """The procedure against an abstract syndrome oracle.
+
+    ``neighbors_of`` is either ``network.neighbors`` (the object path) or the
+    compiled CSR rows (no per-call adjacency building).
+    """
     lookups_before = syndrome.lookups
     nodes: set[int] = {u0}
     parent: dict[int, int] = {}
@@ -157,7 +235,7 @@ def set_builder(
     # U_1: scan the unordered pairs of u0's neighbours (at most Δ(Δ-1)/2
     # syndrome lookups, matching the accounting of Section 6); a 0-result
     # admits both members of the pair.
-    neighbors0 = sorted(v for v in network.neighbors(u0) if restrict is None or restrict(v))
+    neighbors0 = sorted(v for v in neighbors_of(u0) if restrict is None or restrict(v))
     added_set: set[int] = set()
     for i, v in enumerate(neighbors0):
         if budget_reached():
@@ -192,7 +270,7 @@ def set_builder(
         new_set: set[int] = set()
         for u in frontier:  # already sorted: guarantees t(v) is the least contributor
             t_u = parent.get(u, u0)
-            for v in network.neighbors(u):
+            for v in neighbors_of(u):
                 if v in nodes or v in new_set:
                     continue
                 if restrict is not None and not restrict(v):
@@ -227,4 +305,283 @@ def set_builder(
         rounds=rounds,
         lookups=syndrome.lookups - lookups_before,
         truncated=truncated,
+    )
+
+
+def _set_builder_array(
+    csr,
+    syndrome: ArraySyndrome,
+    u0: int,
+    diagnosability: int,
+    restrict: Callable[[int], bool] | None,
+    max_nodes: int | None,
+    stop_on_certificate: bool,
+) -> SetBuilderResult:
+    """Flat-array hot path: byte-mask membership, O(1) pair-indexed lookups.
+
+    Mirrors :func:`_set_builder_oracle` statement for statement; the only
+    representational differences are the byte mask standing in for the
+    ``nodes`` set and direct buffer reads standing in for ``syndrome.lookup``
+    (the consulted-entry count is accumulated locally and credited to the
+    syndrome's counter on exit).
+    """
+    rows = csr.rows
+    pair_base = csr.pair_base
+    buf = syndrome.buffer
+    lookups = 0
+
+    in_tree = bytearray(csr.num_nodes)
+    in_tree[u0] = 1
+    tree_count = 1
+    tree_nodes: list[int] = [u0]
+    parent: dict[int, int] = {}
+    contributors: set[int] = set()
+    all_healthy = False
+    truncated = False
+
+    # ---------------------------------------------------------------- round 1
+    row0 = rows[u0]
+    d0 = len(row0)
+    base0 = pair_base[u0]
+    if restrict is None:
+        candidates = list(enumerate(row0))
+    else:
+        candidates = [(i, v) for i, v in enumerate(row0) if restrict(v)]
+    in_added = bytearray(csr.num_nodes)
+    added: list[int] = []
+    for a, (i, v) in enumerate(candidates):
+        if max_nodes is not None and tree_count >= max_nodes:
+            truncated = True
+            break
+        for j, w in candidates[a + 1 :]:
+            if in_added[v] and in_added[w]:
+                continue
+            lookups += 1
+            if buf[base0 + i * (2 * d0 - i - 1) // 2 + (j - i - 1)] == 0:
+                for node in (v, w):
+                    if not in_added[node] and not (
+                        max_nodes is not None and tree_count >= max_nodes
+                    ):
+                        in_added[node] = 1
+                        added.append(node)
+                        parent[node] = u0
+    for node in added:
+        in_tree[node] = 1
+    tree_count += len(added)
+    tree_nodes.extend(added)
+    rounds = 1 if added else 0
+    if added:
+        contributors.add(u0)
+    if len(contributors) > diagnosability:
+        all_healthy = True
+
+    frontier = sorted(added)
+
+    # ------------------------------------------------------------ rounds >= 2
+    while frontier:
+        if all_healthy and stop_on_certificate:
+            truncated = True
+            break
+        if max_nodes is not None and tree_count >= max_nodes:
+            truncated = True
+            break
+        new_nodes: list[int] = []
+        in_new = bytearray(csr.num_nodes)
+        new_count = 0
+        for u in frontier:  # already sorted: guarantees t(v) is the least contributor
+            row = rows[u]
+            d = len(row)
+            t_u = parent.get(u, u0)
+            pos_t = bisect_left(row, t_u)
+            base = pair_base[u]
+            for pos, v in enumerate(row):
+                if in_tree[v] or in_new[v]:
+                    continue
+                if restrict is not None and not restrict(v):
+                    continue
+                if max_nodes is not None and tree_count + new_count >= max_nodes:
+                    truncated = True
+                    break
+                if pos < pos_t:
+                    i, j = pos, pos_t
+                else:
+                    i, j = pos_t, pos
+                lookups += 1
+                if buf[base + i * (2 * d - i - 1) // 2 + (j - i - 1)] == 0:
+                    in_new[v] = 1
+                    new_count += 1
+                    new_nodes.append(v)
+                    parent[v] = u
+                    contributors.add(u)
+            if truncated:
+                break
+        if not new_nodes:
+            break
+        for node in new_nodes:
+            in_tree[node] = 1
+        tree_count += new_count
+        tree_nodes.extend(new_nodes)
+        rounds += 1
+        if len(contributors) > diagnosability:
+            all_healthy = True
+        new_nodes.sort()
+        frontier = new_nodes
+        if truncated:
+            break
+
+    syndrome.lookups += lookups
+    return SetBuilderResult(
+        root=u0,
+        all_healthy=all_healthy,
+        nodes=set(tree_nodes),
+        parent=parent,
+        contributors=contributors,
+        rounds=rounds,
+        lookups=lookups,
+        truncated=truncated,
+    )
+
+
+def _set_builder_array_vectorized(
+    csr,
+    syndrome: ArraySyndrome,
+    u0: int,
+    diagnosability: int,
+    stop_on_certificate: bool,
+) -> SetBuilderResult:
+    """Whole-frontier array path for unrestricted, unbudgeted runs.
+
+    Each round expands the entire frontier with numpy gathers over the flat
+    CSR/pair arrays instead of per-neighbour Python statements.  The
+    procedure, the tie-breaking (``t(v)`` is the least contributor: frontiers
+    ascend and, per added node, the first candidate parent in flat order
+    wins) and the consulted-entry accounting replicate the scalar paths
+    exactly — a candidate stops generating lookups once an earlier tester in
+    the same round has already admitted it.
+    """
+    indptr, indices = csr.indptr, csr.indices
+    pair_indptr = csr.pair_indptr
+    buf = np.frombuffer(syndrome.buffer, dtype=np.uint8)
+    lookups = 0
+
+    n = csr.num_nodes
+    member = np.zeros(n, dtype=bool)
+    member[u0] = True
+    parent_np = np.full(n, -1, dtype=np.int64)
+    tree_nodes: list[int] = [u0]
+    parent: dict[int, int] = {}
+    contributors: set[int] = set()
+    all_healthy = False
+    truncated = False
+
+    # ---------------------------------------------------------------- round 1
+    # Δ(Δ-1)/2 pairs of the root's row: scalar (tiny) — identical to the
+    # scalar paths.
+    row0 = csr.rows[u0]
+    d0 = len(row0)
+    base0 = csr.pair_base[u0]
+    pbuf = syndrome.buffer
+    in_added = set()
+    added: list[int] = []
+    for i in range(d0):
+        v = row0[i]
+        for j in range(i + 1, d0):
+            w = row0[j]
+            if v in in_added and w in in_added:
+                continue
+            lookups += 1
+            if pbuf[base0 + i * (2 * d0 - i - 1) // 2 + (j - i - 1)] == 0:
+                for node in (v, w):
+                    if node not in in_added:
+                        in_added.add(node)
+                        added.append(node)
+                        parent[node] = u0
+    if added:
+        added_arr = np.asarray(added, dtype=np.int64)
+        member[added_arr] = True
+        parent_np[added_arr] = u0
+        tree_nodes.extend(added)
+        contributors.add(u0)
+    rounds = 1 if added else 0
+    if len(contributors) > diagnosability:
+        all_healthy = True
+
+    frontier = np.asarray(sorted(added), dtype=np.int64)
+
+    # ------------------------------------------------------------ rounds >= 2
+    while frontier.size:
+        if all_healthy and stop_on_certificate:
+            truncated = True
+            break
+        # Flat gather of every (tester u ∈ frontier, neighbour v) pair, in
+        # (u ascending, row position ascending) order — the order the scalar
+        # paths visit them in.
+        counts = (indptr[frontier + 1] - indptr[frontier]).astype(np.int64)
+        total = int(counts.sum())
+        row_starts = np.repeat(indptr[frontier], counts)
+        seg_ends = np.cumsum(counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(seg_ends - counts, counts)
+        nbr = indices[row_starts + within].astype(np.int64)
+        src = np.repeat(frontier, counts)
+        d_el = np.repeat(counts, counts)
+
+        # Position of each tester's parent inside its sorted row (one match
+        # per tester, emitted in tester order by construction).
+        parent_el = parent_np[src]
+        pos_t = within[nbr == parent_el]
+        pos_t_el = np.repeat(pos_t, counts)
+
+        keep = ~member[nbr]
+        if not keep.any():
+            break
+        v_c = nbr[keep]
+        src_c = src[keep]
+        i_c = np.minimum(within[keep], pos_t_el[keep])
+        j_c = np.maximum(within[keep], pos_t_el[keep])
+        d_c = d_el[keep]
+        slots = (
+            pair_indptr[src_c]
+            + i_c * (2 * d_c - i_c - 1) // 2
+            + (j_c - i_c - 1)
+        )
+        val_c = buf[slots]
+
+        # A node joins at its first 0-test in flat order and later testers of
+        # the same round skip it.  Reversed fancy-index assignment leaves the
+        # *first* occurrence in place, giving the admitting tester per node
+        # without a sort.
+        m = len(v_c)
+        idx_m = np.arange(m, dtype=np.int64)
+        first0 = np.full(n, m, dtype=np.int64)
+        zsel = val_c == 0
+        first0[v_c[zsel][::-1]] = idx_m[zsel][::-1]
+        # The sequential procedure stops consulting a node's tests once it is
+        # admitted; occurrences after the admitting one are never looked up.
+        lookups += m - int((idx_m > first0[v_c]).sum())
+
+        added_v = np.flatnonzero(first0 < m)
+        if added_v.size == 0:
+            break
+        added_u = src_c[first0[added_v]]
+        member[added_v] = True
+        parent_np[added_v] = added_u
+        parent.update(zip(added_v.tolist(), added_u.tolist()))
+        tree_nodes.extend(added_v.tolist())
+        contributors.update(added_u.tolist())
+        rounds += 1
+        if len(contributors) > diagnosability:
+            all_healthy = True
+        frontier = added_v  # already sorted ascending
+
+    syndrome.lookups += lookups
+    return SetBuilderResult(
+        root=u0,
+        all_healthy=all_healthy,
+        nodes=set(tree_nodes),
+        parent=parent,
+        contributors=contributors,
+        rounds=rounds,
+        lookups=lookups,
+        truncated=truncated,
+        member_mask=member,
     )

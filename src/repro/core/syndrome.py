@@ -225,6 +225,7 @@ def generate_syndrome(
     behavior: FaultyTesterBehavior | str = "random",
     seed: int | None = 0,
     full_table: bool = False,
+    backend: str | None = None,
 ) -> Syndrome:
     """Generate a syndrome for a fault set under the MM model.
 
@@ -241,7 +242,21 @@ def generate_syndrome(
     full_table:
         If True, the whole syndrome table is materialised up front
         (:class:`TableSyndrome`); otherwise results are produced lazily.
+    backend:
+        Explicit realisation choice overriding ``full_table``: ``"lazy"``,
+        ``"table"`` or ``"array"`` (the flat
+        :class:`~repro.backend.array_syndrome.ArraySyndrome` over the compiled
+        topology — the fast path of the diagnosis pipeline).  All three agree
+        entry for entry for the same faults, behaviour and seed.
     """
+    if backend is not None:
+        if backend == "array":
+            from ..backend.array_syndrome import ArraySyndrome  # deferred: avoids cycle
+
+            return ArraySyndrome.from_faults(network, faults, behavior=behavior, seed=seed)
+        if backend not in ("lazy", "table"):
+            raise ValueError(f"unknown syndrome backend {backend!r}")
+        full_table = backend == "table"
     lazy = LazySyndrome(network, faults, behavior=behavior, seed=seed)
     if full_table:
         return lazy.materialize()

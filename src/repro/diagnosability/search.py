@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from itertools import combinations
 
+from ..backend.csr import compile_network
 from ..networks.base import InterconnectionNetwork
 
 __all__ = ["are_indistinguishable", "is_t_diagnosable", "exact_diagnosability"]
@@ -35,11 +36,11 @@ def are_indistinguishable(
     if f1 == f2:
         return True
     union = f1 | f2
+    rows = compile_network(network).rows
     for u in range(network.num_nodes):
         if u in union:
             continue
-        neighbors = sorted(network.neighbors(u))
-        for v, w in combinations(neighbors, 2):
+        for v, w in combinations(rows[u], 2):
             in1 = v in f1 or w in f1
             in2 = v in f2 or w in f2
             if in1 != in2:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..backend.csr import compile_network
 from ..core.set_builder import set_builder
 from ..core.syndrome import Syndrome
 from ..networks.base import InterconnectionNetwork
@@ -74,6 +75,7 @@ class DistributedSetBuilder:
 
     def __init__(self, network: InterconnectionNetwork, *, diagnosability: int | None = None):
         self.network = network
+        self.csr = compile_network(network)
         self.delta = network.diagnosability() if diagnosability is None else int(diagnosability)
 
     def run(self, syndrome: Syndrome, root: int) -> DistributedRunStats:
@@ -96,11 +98,15 @@ class DistributedSetBuilder:
         # already in the tree or whose test returned 0 via another parent; we
         # charge one message per (tree node, neighbour in U_r) pair beyond the
         # tree edges, which upper-bounds duplicate invitations.
+        rows = self.csr.rows
+        in_tree = bytearray(self.csr.num_nodes)
+        for node in result.nodes:
+            in_tree[node] = 1
+        parent_of = result.parent.get
         duplicate_invitations = 0
         for node in result.nodes:
-            for nb in self.network.neighbors(node):
-                if nb in result.nodes and result.parent.get(nb) != node and \
-                        result.parent.get(node) != nb:
+            for nb in rows[node]:
+                if in_tree[nb] and parent_of(nb) != node and parent_of(node) != nb:
                     duplicate_invitations += 1
         duplicate_invitations //= 2
 
@@ -111,11 +117,9 @@ class DistributedSetBuilder:
         # Two rounds per growth phase plus the convergecast (depth rounds).
         rounds = 2 * max(result.rounds, 1) + depth
 
-        boundary = set()
-        for u in result.nodes:
-            for v in self.network.neighbors(u):
-                if v not in result.nodes:
-                    boundary.add(v)
+        boundary = self.csr.boundary(
+            result.member_mask if result.member_mask is not None else result.nodes
+        )
 
         return DistributedRunStats(
             rounds=rounds,

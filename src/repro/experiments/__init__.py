@@ -1,5 +1,15 @@
 """Experiment runners regenerating every table of EXPERIMENTS.md."""
 
-from .runners import EXPERIMENTS, ExperimentReport, run_all, run_experiment
+from .reporting import ExperimentReport
+from .runners import EXPERIMENTS, run_all, run_experiment
+from .trials import TrialPlan, TrialResult, TrialSpec
 
-__all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]
+__all__ = [
+    "ExperimentReport",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all",
+    "TrialPlan",
+    "TrialResult",
+    "TrialSpec",
+]

@@ -8,6 +8,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from .runners import EXPERIMENTS, run_experiment
@@ -19,12 +20,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment ids (default: all of E1..E9)")
     parser.add_argument("--markdown", action="store_true",
                         help="emit GitHub-flavoured markdown tables")
+    parser.add_argument("--parallel", action="store_true",
+                        help="fan the trial table of each diagnosis experiment out "
+                             "over a process pool (one worker per topology group)")
     args = parser.parse_args(argv)
 
     names = [name.upper() for name in args.experiments] or sorted(EXPERIMENTS)
     ok = True
     for name in names:
-        report = run_experiment(name)
+        kwargs = {}
+        runner = EXPERIMENTS.get(name)
+        if args.parallel and runner is not None and \
+                "parallel" in inspect.signature(runner).parameters:
+            kwargs["parallel"] = True
+        report = run_experiment(name, **kwargs)
         ok &= report.claims_verified
         if args.markdown:
             print(f"### {report.experiment}: {report.title}\n")

@@ -8,101 +8,63 @@ with statistical rigour; these runners exist so that
 * ``python -m repro.experiments`` (or ``repro-diagnose`` users) can regenerate
   the EXPERIMENTS.md tables in one command without pytest, and
 * the test suite can assert the *claims* behind every experiment cheaply.
+
+The diagnosis experiments (E1–E4, E6 and the root search of E9) run through
+the batched :class:`~repro.experiments.trials.TrialPlan`: the factor-product
+trial table executes against one shared compiled topology per
+``(family, size)`` — instead of rebuilding the network per trial — and can
+optionally fan the topology groups out over a process pool
+(``parallel=True``).  The structural experiments (E5, E7, E8) draw their
+instances from the same registry memo.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Callable
 
 from ..analysis import (
     fit_against_model,
-    format_table,
     full_table_size,
     set_builder_lookup_bound,
 )
-from ..baselines import ExtendedStarDiagnoser, YangCycleDiagnoser
-from ..core.diagnosis import GeneralDiagnoser
-from ..core.faults import clustered_faults, random_faults
+from ..backend.array_syndrome import ArraySyndrome
+from ..core.faults import random_faults
 from ..core.partitions import class_certifies_when_fault_free, minimal_certifying_level
 from ..core.set_builder import set_builder
-from ..core.syndrome import generate_syndrome
 from ..diagnosability import chang_condition, exact_diagnosability, min_degree_upper_bound
 from ..distributed import DistributedSetBuilder, extended_star_gossip_cost
-from ..networks import Hypercube
-from ..networks.registry import FAMILIES, create_network
-from ..workloads.sweeps import cube_variant_sweep, kary_sweep, permutation_sweep
+from ..networks.registry import FAMILIES, cached_network, compiled_network
+from ..workloads.sweeps import (
+    CUBE_VARIANT_INSTANCES,
+    KARY_INSTANCES,
+    PERMUTATION_INSTANCES,
+)
+from .reporting import ExperimentReport, _md_cell  # noqa: F401  (re-export shim)
+from .trials import TrialPlan, TrialSpec
 
 __all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]
 
 
-@dataclass
-class ExperimentReport:
-    """Outcome of one experiment runner."""
-
-    experiment: str
-    title: str
-    headers: list[str]
-    rows: list[tuple]
-    claims_verified: bool
-    notes: str = ""
-    elapsed_seconds: float = 0.0
-
-    def to_text(self) -> str:
-        table = format_table(self.headers, self.rows, title=f"{self.experiment}: {self.title}")
-        status = "all claims verified" if self.claims_verified else "CLAIM VIOLATION"
-        footer = f"[{status}] ({self.elapsed_seconds:.1f}s)"
-        if self.notes:
-            footer += f"\n{self.notes}"
-        return f"{table}\n{footer}"
-
-    def to_markdown(self) -> str:
-        """The table in GitHub-flavoured markdown (used to refresh EXPERIMENTS.md)."""
-        head = "| " + " | ".join(self.headers) + " |"
-        sep = "| " + " | ".join("---" for _ in self.headers) + " |"
-        body = [
-            "| " + " | ".join(_md_cell(c) for c in row) + " |"
-            for row in self.rows
-        ]
-        return "\n".join([head, sep, *body])
-
-
-def _md_cell(cell) -> str:
-    if isinstance(cell, bool):
-        return "yes" if cell else "no"
-    if isinstance(cell, float):
-        return f"{cell:.3g}"
-    return str(cell)
-
-
-def _timed(fn: Callable[[], tuple]) -> tuple:
-    start = time.perf_counter()
-    result = fn()
-    return result + (time.perf_counter() - start,)
-
-
 # --------------------------------------------------------------------------- E1
-def run_e1(*, dimensions: tuple[int, ...] = (7, 8, 9, 10, 11), seed: int = 0) -> ExperimentReport:
+def run_e1(*, dimensions: tuple[int, ...] = (7, 8, 9, 10, 11), seed: int = 0,
+           parallel: bool = False) -> ExperimentReport:
     """E1 (Theorem 2): exactness and O(n·2^n) scaling on hypercubes."""
     start = time.perf_counter()
-    rows = []
-    models, times = [], []
+    plan = TrialPlan(
+        TrialSpec(label=f"Q_{n}", family="hypercube", params=(("dimension", n),),
+                  placement="random", fault_count=n, seed=seed + n)
+        for n in dimensions
+    )
+    results = plan.run(parallel=parallel)
+    rows, models, times = [], [], []
     all_exact = True
-    for n in dimensions:
-        cube = Hypercube(n)
-        faults = random_faults(cube, n, seed=seed + n)
-        syndrome = generate_syndrome(cube, faults, seed=seed + n, full_table=True)
-        diagnoser = GeneralDiagnoser(cube)
-        t0 = time.perf_counter()
-        result = diagnoser.diagnose(syndrome)
-        elapsed = time.perf_counter() - t0
-        exact = result.faulty == faults
-        all_exact &= exact
+    for n, res in zip(dimensions, results):
+        all_exact &= res.exact
         models.append(n * 2**n)
-        times.append(elapsed)
-        rows.append((f"Q_{n}", cube.num_nodes, n, exact, result.lookups,
-                     round(elapsed * 1e3, 2)))
+        times.append(res.elapsed_seconds)
+        rows.append((res.spec.label, res.num_nodes, res.num_faults, res.exact,
+                     res.lookups, round(res.elapsed_seconds * 1e3, 2)))
     fit = fit_against_model(models, times)
     claims = all_exact and fit.exponent <= 1.35
     return ExperimentReport(
@@ -121,23 +83,18 @@ def run_e1(*, dimensions: tuple[int, ...] = (7, 8, 9, 10, 11), seed: int = 0) ->
 
 
 # --------------------------------------------------------------------------- E2
-def run_e2(*, seed: int = 2) -> ExperimentReport:
+def run_e2(*, seed: int = 2, parallel: bool = False) -> ExperimentReport:
     """E2 (Theorem 3): the hypercube variants."""
     start = time.perf_counter()
+    plan = TrialPlan.from_factors(
+        CUBE_VARIANT_INSTANCES, placements=("random", "clustered"), seeds=(seed,)
+    )
     rows = []
     all_exact = True
-    for point in cube_variant_sweep(seed=seed):
-        network = point.network
-        for scenario in point.scenarios:
-            syndrome = generate_syndrome(network, scenario.faults, seed=seed, full_table=True)
-            t0 = time.perf_counter()
-            result = GeneralDiagnoser(network).diagnose(syndrome)
-            elapsed = time.perf_counter() - t0
-            exact = result.faulty == scenario.faults
-            all_exact &= exact
-            rows.append((point.label, scenario.name, network.num_nodes,
-                         network.diagnosability(), exact, result.lookups,
-                         round(elapsed * 1e3, 2)))
+    for res in plan.run(parallel=parallel):
+        all_exact &= res.exact
+        rows.append((res.spec.label, res.spec.scenario, res.num_nodes, res.delta,
+                     res.exact, res.lookups, round(res.elapsed_seconds * 1e3, 2)))
     return ExperimentReport(
         "E2",
         "hypercube variants, |F| = δ (Theorem 3)",
@@ -149,22 +106,16 @@ def run_e2(*, seed: int = 2) -> ExperimentReport:
 
 
 # --------------------------------------------------------------------------- E3
-def run_e3(*, seed: int = 5) -> ExperimentReport:
+def run_e3(*, seed: int = 5, parallel: bool = False) -> ExperimentReport:
     """E3 (Theorem 4): k-ary n-cubes and augmented k-ary n-cubes."""
     start = time.perf_counter()
+    plan = TrialPlan.from_factors(KARY_INSTANCES, seeds=(seed,))
     rows = []
     all_exact = True
-    for point in kary_sweep(seed=seed):
-        network = point.network
-        scenario = point.scenarios[0]
-        syndrome = generate_syndrome(network, scenario.faults, seed=seed, full_table=True)
-        t0 = time.perf_counter()
-        result = GeneralDiagnoser(network).diagnose(syndrome)
-        elapsed = time.perf_counter() - t0
-        exact = result.faulty == scenario.faults
-        all_exact &= exact
-        rows.append((point.label, network.num_nodes, network.diagnosability(), exact,
-                     result.lookups, round(elapsed * 1e3, 2)))
+    for res in plan.run(parallel=parallel):
+        all_exact &= res.exact
+        rows.append((res.spec.label, res.num_nodes, res.delta, res.exact,
+                     res.lookups, round(res.elapsed_seconds * 1e3, 2)))
     return ExperimentReport(
         "E3",
         "k-ary n-cubes and augmented k-ary n-cubes, |F| = δ (Theorem 4)",
@@ -176,23 +127,17 @@ def run_e3(*, seed: int = 5) -> ExperimentReport:
 
 
 # --------------------------------------------------------------------------- E4
-def run_e4(*, seed: int = 7) -> ExperimentReport:
+def run_e4(*, seed: int = 7, parallel: bool = False) -> ExperimentReport:
     """E4 (Theorems 5–7): permutation-based families."""
     start = time.perf_counter()
+    plan = TrialPlan.from_factors(PERMUTATION_INSTANCES, seeds=(seed,))
     rows = []
     all_exact = True
-    for point in permutation_sweep(seed=seed):
-        network = point.network
-        scenario = point.scenarios[0]
-        syndrome = generate_syndrome(network, scenario.faults, seed=seed, full_table=True)
-        t0 = time.perf_counter()
-        result = GeneralDiagnoser(network).diagnose(syndrome)
-        elapsed = time.perf_counter() - t0
-        exact = result.faulty == scenario.faults
-        all_exact &= exact
-        fallback = result.partition_level is None
-        rows.append((point.label, network.num_nodes, network.diagnosability(), exact,
-                     fallback, result.lookups, round(elapsed * 1e3, 2)))
+    for res in plan.run(parallel=parallel):
+        all_exact &= res.exact
+        rows.append((res.spec.label, res.num_nodes, res.delta, res.exact,
+                     res.used_fallback, res.lookups,
+                     round(res.elapsed_seconds * 1e3, 2)))
     return ExperimentReport(
         "E4",
         "(n,k)-stars, stars, pancakes, arrangement graphs, |F| = δ (Theorems 5-7)",
@@ -222,15 +167,15 @@ def run_e5(*, seed: int = 13) -> ExperimentReport:
     rows = []
     claims = True
     for label, (family, params) in instances.items():
-        network = create_network(family, **params)
+        network, csr = compiled_network(family, **params)
         delta = network.diagnosability()
         faults = random_faults(network, delta, seed=seed)
-        syndrome = generate_syndrome(network, faults, seed=seed, full_table=True)
+        syndrome = ArraySyndrome.from_faults(csr, faults, seed=seed)
         root = next(v for v in range(network.num_nodes) if v not in faults)
         syndrome.reset_lookups()
         result = set_builder(network, syndrome, root, diagnosability=delta)
-        bound = set_builder_lookup_bound(network.max_degree, result.size)
-        root_tests = network.max_degree * (network.max_degree - 1) / 2
+        bound = set_builder_lookup_bound(csr.max_degree, result.size)
+        root_tests = csr.max_degree * (csr.max_degree - 1) / 2
         table = full_table_size(network)
         within_bound = result.lookups <= bound + root_tests
         far_below_table = result.lookups < table / 2
@@ -249,32 +194,28 @@ def run_e5(*, seed: int = 13) -> ExperimentReport:
 
 
 # --------------------------------------------------------------------------- E6
-def run_e6(*, dimensions: tuple[int, ...] = (8, 9, 10), seed: int = 17) -> ExperimentReport:
+def run_e6(*, dimensions: tuple[int, ...] = (8, 9, 10), seed: int = 17,
+           parallel: bool = False) -> ExperimentReport:
     """E6 (Sections 3/6): Stewart vs Yang vs extended-star on identical syndromes."""
     start = time.perf_counter()
+    plan = TrialPlan.from_factors(
+        [(f"Q_{n}", "hypercube", {"dimension": n}) for n in dimensions],
+        seeds=(seed,),
+        algorithms=("stewart", "yang", "extended_star"),
+    )
+    results = plan.run(parallel=parallel)
     rows = []
     claims = True
-    for n in dimensions:
-        cube = Hypercube(n)
-        faults = random_faults(cube, n, seed=seed)
-        table = full_table_size(cube)
-        measurements = {}
-        for name, factory in (
-            ("stewart", lambda: GeneralDiagnoser(cube)),
-            ("yang", lambda: YangCycleDiagnoser(cube)),
-            ("extended_star", lambda: ExtendedStarDiagnoser(cube)),
-        ):
-            syndrome = generate_syndrome(cube, faults, seed=seed, full_table=True)
-            algorithm = factory()
-            t0 = time.perf_counter()
-            output = algorithm.diagnose(syndrome)
-            elapsed = time.perf_counter() - t0
-            measurements[name] = (output.faulty == faults, syndrome.lookups, elapsed)
-            rows.append((f"Q_{n}", name, output.faulty == faults, syndrome.lookups,
-                         f"{100 * syndrome.lookups / table:.1f}%",
-                         round(elapsed * 1e3, 2)))
-        stewart_exact, stewart_lookups, _ = measurements["stewart"]
-        extended_exact, extended_lookups, _ = measurements["extended_star"]
+    by_dim: dict[str, dict[str, tuple[bool, int]]] = {}
+    for res in results:
+        table = full_table_size(cached_network(res.spec.family, **res.spec.network_kwargs))
+        rows.append((res.spec.label, res.spec.algorithm, res.exact, res.lookups,
+                     f"{100 * res.lookups / table:.1f}%",
+                     round(res.elapsed_seconds * 1e3, 2)))
+        by_dim.setdefault(res.spec.label, {})[res.spec.algorithm] = (res.exact, res.lookups)
+    for measurements in by_dim.values():
+        stewart_exact, stewart_lookups = measurements["stewart"]
+        extended_exact, extended_lookups = measurements["extended_star"]
         claims &= stewart_exact and extended_exact and measurements["yang"][0]
         claims &= stewart_lookups * 2 < extended_lookups
     return ExperimentReport(
@@ -300,7 +241,7 @@ def run_e7(*, families: tuple[str, ...] = ("hypercube", "crossed_cube", "folded_
     claims = True
     for family in families:
         spec = FAMILIES[family]
-        network = spec.constructor(**spec.small)
+        network = cached_network(family, **spec.small)
         quoted = network.diagnosability()
         upper = min_degree_upper_bound(network)
         report = chang_condition(network)
@@ -336,7 +277,7 @@ def run_e8(*, dimensions: tuple[int, ...] = (7, 8, 9, 10, 11, 12)) -> Experiment
     rows = []
     claims = True
     for n in dimensions:
-        cube = Hypercube(n)
+        cube = cached_network("hypercube", dimension=n)
         level0 = cube.partition_scheme(0).first(1)[0]
         certifies = class_certifies_when_fault_free(cube, level0)
         min_level = minimal_certifying_level(cube)
@@ -359,17 +300,30 @@ def run_e8(*, dimensions: tuple[int, ...] = (7, 8, 9, 10, 11, 12)) -> Experiment
 
 
 # --------------------------------------------------------------------------- E9
-def run_e9(*, dimensions: tuple[int, ...] = (8, 9, 10), seed: int = 31) -> ExperimentReport:
+def run_e9(*, dimensions: tuple[int, ...] = (8, 9, 10), seed: int = 31,
+           parallel: bool = False) -> ExperimentReport:
     """E9 (further research): distributed Set_Builder vs extended-star gossip."""
     start = time.perf_counter()
+    plan = TrialPlan(
+        TrialSpec(label=f"Q_{n}", family="hypercube", params=(("dimension", n),),
+                  placement="random", fault_count=n, seed=seed)
+        for n in dimensions
+    )
+    root_results = plan.run(parallel=parallel)
     rows = []
     claims = True
-    for n in dimensions:
-        cube = Hypercube(n)
+    for n, res in zip(dimensions, root_results):
+        cube, csr = compiled_network("hypercube", dimension=n)
         faults = random_faults(cube, n, seed=seed)
-        syndrome = generate_syndrome(cube, faults, seed=seed, full_table=True)
-        root = GeneralDiagnoser(cube).diagnose(syndrome).healthy_root
-        stats = DistributedSetBuilder(cube).run(syndrome, root)
+        # The same syndrome the root search consulted (ArraySyndrome
+        # generation is deterministic in (faults, behaviour, seed)).
+        if res.healthy_root in faults:
+            raise RuntimeError(
+                "E9 seed policy drifted: the trial plan's healthy root is faulty "
+                "under the regenerated fault set"
+            )
+        syndrome = ArraySyndrome.from_faults(csr, faults, seed=seed)
+        stats = DistributedSetBuilder(cube).run(syndrome, res.healthy_root)
         gossip_rounds, gossip_messages = extended_star_gossip_cost(cube, radius=3)
         claims &= stats.messages < gossip_messages and stats.faults_found == len(faults)
         rows.append((f"Q_{n}", stats.rounds, stats.messages, gossip_rounds, gossip_messages,

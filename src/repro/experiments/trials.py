@@ -1,0 +1,233 @@
+"""Batched trial planning for the experiment layer.
+
+Every experiment of DESIGN.md §5 is, at its core, a *factor product*: a set of
+network instances × fault placements × seeds × algorithms, with one diagnosis
+per combination.  Before this module each runner re-instantiated (and
+re-walked) its topologies per trial; a :class:`TrialPlan` instead materialises
+the whole trial table up front — in the style of an experiment-table runner —
+and executes it against **shared compiled topologies**:
+
+* network instances come from the registry memo
+  (:func:`repro.networks.registry.cached_network`), so every trial on the same
+  ``(family, params)`` shares one object and one compiled
+  :class:`~repro.backend.csr.CSRAdjacency`;
+* syndromes are generated straight into the flat
+  :class:`~repro.backend.array_syndrome.ArraySyndrome` layout (vectorised over
+  the compiled pair arrays), which is also the diagnosis fast path;
+* trials are grouped by topology, and groups can optionally fan out over a
+  ``concurrent.futures`` process pool (one process compiles each topology once
+  and runs its whole group).
+
+Results are plain dataclasses of primitives, so they cross process boundaries
+and feed the report tables of :mod:`repro.experiments.runners` directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Sequence
+
+from ..backend.array_syndrome import ArraySyndrome
+from ..baselines import ExtendedStarDiagnoser, YangCycleDiagnoser
+from ..core.diagnosis import GeneralDiagnoser
+from ..core.faults import clustered_faults, random_faults, spread_faults
+from ..networks.registry import compiled_network
+
+__all__ = ["TrialSpec", "TrialResult", "TrialPlan", "PLACEMENTS", "ALGORITHMS"]
+
+#: Fault-placement factor levels (see :mod:`repro.core.faults`).
+PLACEMENTS = {
+    "random": random_faults,
+    "clustered": clustered_faults,
+    "spread": spread_faults,
+}
+
+#: Algorithm factor levels: the paper's general algorithm plus the two
+#: comparators of Section 3 (used by experiment E6).
+ALGORITHMS = ("stewart", "yang", "extended_star")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One row of the trial table (a single diagnosis run)."""
+
+    label: str
+    family: str
+    params: tuple[tuple[str, int], ...]
+    placement: str = "random"
+    fault_count: int | None = None  # None → the network's diagnosability δ
+    seed: int = 0
+    behavior: str = "random"
+    algorithm: str = "stewart"
+
+    @property
+    def network_kwargs(self) -> dict[str, int]:
+        return dict(self.params)
+
+    @property
+    def scenario(self) -> str:
+        """Scenario name matching the sweep convention (``random-max`` etc.)."""
+        suffix = "max" if self.fault_count is None else str(self.fault_count)
+        return f"{self.placement}-{suffix}"
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial (primitives only: crosses process boundaries)."""
+
+    spec: TrialSpec
+    num_nodes: int
+    delta: int
+    num_faults: int
+    exact: bool
+    lookups: int
+    elapsed_seconds: float
+    healthy_root: int | None = None
+    partition_level: int | None = None
+    num_probes: int = 0
+
+    @property
+    def used_fallback(self) -> bool:
+        """The healthy-root search resorted to unrestricted probing."""
+        return self.spec.algorithm == "stewart" and self.partition_level is None
+
+
+def _run_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
+    """Execute all trials of one ``(family, params)`` group.
+
+    Module-level so a process pool can pickle it; the compiled topology is
+    built once per group per process (and memoized for later groups on the
+    same instance).
+    """
+    first = specs[0]
+    network, csr = compiled_network(first.family, **first.network_kwargs)
+    delta = network.diagnosability()
+    results: list[TrialResult] = []
+    for spec in specs:
+        count = delta if spec.fault_count is None else spec.fault_count
+        faults = PLACEMENTS[spec.placement](network, count, seed=spec.seed)
+        syndrome = ArraySyndrome.from_faults(
+            csr, faults, behavior=spec.behavior, seed=spec.seed
+        )
+        healthy_root = None
+        partition_level = None
+        num_probes = 0
+        if spec.algorithm == "stewart":
+            diagnoser = GeneralDiagnoser(network)
+            start = time.perf_counter()
+            outcome = diagnoser.diagnose(syndrome)
+            elapsed = time.perf_counter() - start
+            diagnosed = outcome.faulty
+            healthy_root = outcome.healthy_root
+            partition_level = outcome.partition_level
+            num_probes = outcome.num_probes
+        elif spec.algorithm == "yang":
+            algorithm = YangCycleDiagnoser(network)
+            start = time.perf_counter()
+            diagnosed = algorithm.diagnose(syndrome).faulty
+            elapsed = time.perf_counter() - start
+        elif spec.algorithm == "extended_star":
+            algorithm = ExtendedStarDiagnoser(network)
+            start = time.perf_counter()
+            diagnosed = algorithm.diagnose(syndrome).faulty
+            elapsed = time.perf_counter() - start
+        else:
+            raise ValueError(f"unknown algorithm {spec.algorithm!r}")
+        results.append(
+            TrialResult(
+                spec=spec,
+                num_nodes=network.num_nodes,
+                delta=delta,
+                num_faults=len(faults),
+                exact=diagnosed == faults,
+                lookups=syndrome.lookups,
+                elapsed_seconds=elapsed,
+                healthy_root=healthy_root,
+                partition_level=partition_level,
+                num_probes=num_probes,
+            )
+        )
+    return results
+
+
+class TrialPlan:
+    """An ordered trial table executed against shared compiled topologies."""
+
+    def __init__(self, trials: Iterable[TrialSpec]) -> None:
+        self.trials: list[TrialSpec] = list(trials)
+
+    @classmethod
+    def from_factors(
+        cls,
+        instances: Iterable[tuple[str, str, dict]],
+        *,
+        placements: Sequence[str] = ("random",),
+        fault_count: int | None = None,
+        seeds: Sequence[int] = (0,),
+        behaviors: Sequence[str] = ("random",),
+        algorithms: Sequence[str] = ("stewart",),
+    ) -> "TrialPlan":
+        """Build the factor-product table.
+
+        ``instances`` is an iterable of ``(label, family, params)``; the other
+        factors multiply out in the order placement → seed → behaviour →
+        algorithm (innermost varies fastest), matching the row order of the
+        experiment tables.
+        """
+        trials = [
+            TrialSpec(
+                label=label,
+                family=family,
+                params=tuple(sorted(params.items())),
+                placement=placement,
+                fault_count=fault_count,
+                seed=seed,
+                behavior=behavior,
+                algorithm=algorithm,
+            )
+            for (label, family, params), placement, seed, behavior, algorithm
+            in product(list(instances), placements, seeds, behaviors, algorithms)
+        ]
+        return cls(trials)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def groups(self) -> list[list[tuple[int, TrialSpec]]]:
+        """Trials grouped by topology, each tagged with its table position."""
+        grouped: dict[tuple, list[tuple[int, TrialSpec]]] = {}
+        for position, spec in enumerate(self.trials):
+            grouped.setdefault((spec.family, spec.params), []).append((position, spec))
+        return list(grouped.values())
+
+    def run(
+        self, *, parallel: bool = False, max_workers: int | None = None
+    ) -> list[TrialResult]:
+        """Execute every trial; results come back in table order.
+
+        With ``parallel=True`` the topology groups fan out over a process
+        pool (each worker compiles its group's topology once).  Parallelism
+        is per *group*, so a plan over a single topology runs inline.
+        """
+        groups = self.groups()
+        results: list[TrialResult | None] = [None] * len(self.trials)
+        if parallel and len(groups) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    (group, pool.submit(_run_group, [spec for _, spec in group]))
+                    for group in groups
+                ]
+                for group, future in futures:
+                    for (position, _), result in zip(group, future.result()):
+                        results[position] = result
+        else:
+            for group in groups:
+                for (position, _), result in zip(
+                    group, _run_group([spec for _, spec in group])
+                ):
+                    results[position] = result
+        return results  # type: ignore[return-value]

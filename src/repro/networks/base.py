@@ -159,8 +159,10 @@ class InterconnectionNetwork(ABC):
         return sum(len(self.neighbors(v)) for v in range(self.num_nodes)) // 2
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Whether ``{u, v}`` is an edge."""
-        return v in self.neighbors(u)
+        """Whether ``{u, v}`` is an edge (sorted-row bisect on the compiled CSR)."""
+        from ..backend.csr import compile_network  # deferred: backend builds on this module
+
+        return compile_network(self).has_edge(u, v)
 
     # ------------------------------------------------------- labels / encoding
     def node_label(self, v: int):

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..backend.csr import CSRAdjacency, compile_network
 from .arrangement import ArrangementGraph
 from .augmented_cube import AugmentedCube
 from .base import InterconnectionNetwork
@@ -31,6 +32,9 @@ __all__ = [
     "PAPER_FAMILIES",
     "EXTENSION_FAMILIES",
     "create_network",
+    "cached_network",
+    "compiled_network",
+    "clear_network_cache",
     "available_families",
     "default_instances",
 ]
@@ -229,6 +233,39 @@ def create_network(family: str, **params) -> InterconnectionNetwork:
             f"unknown network family {family!r}; available: {', '.join(available_families())}"
         ) from exc
     return spec.constructor(**params)
+
+
+#: Memoized instances keyed by ``(family, sorted params)``.  Sharing the
+#: instance shares its compiled CSR adjacency (cached on the instance by
+#: :func:`repro.backend.csr.compile_network`), so a sweep of many trials over
+#: the same topology compiles it exactly once.
+_network_cache: dict[tuple[str, tuple[tuple[str, int], ...]], InterconnectionNetwork] = {}
+
+
+def cached_network(family: str, **params) -> InterconnectionNetwork:
+    """Like :func:`create_network`, but memoized per ``(family, params)``.
+
+    All callers that ask for the same instance share one object — and with it
+    one compiled flat-array topology.  Network instances are immutable after
+    construction, so sharing is safe.
+    """
+    key = (family, tuple(sorted(params.items())))
+    network = _network_cache.get(key)
+    if network is None:
+        network = create_network(family, **params)
+        _network_cache[key] = network
+    return network
+
+
+def compiled_network(family: str, **params) -> tuple[InterconnectionNetwork, CSRAdjacency]:
+    """A memoized instance together with its compiled CSR adjacency."""
+    network = cached_network(family, **params)
+    return network, compile_network(network)
+
+
+def clear_network_cache() -> None:
+    """Drop all memoized instances (tests; bounding long-lived processes)."""
+    _network_cache.clear()
 
 
 def default_instances(size: str = "small") -> dict[str, InterconnectionNetwork]:
