@@ -10,6 +10,12 @@ Three sub-commands cover the common workflows:
     Run one diagnosis on every family of the paper's Section 5 and print a
     summary table (a quick end-to-end health check of the reproduction).
 
+``repro-diagnose distributed``
+    Run the event-driven distributed protocol engine — concurrent roots,
+    per-link latency, message loss/duplication, optional replayable trace —
+    and compare its cost against the extended-star gossip on the same
+    channel.
+
 ``repro-diagnose properties``
     Print the structural properties (degree, diagnosability, connectivity)
     of a chosen network instance and whether Theorem 1 applies.
@@ -66,6 +72,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run the object-based reference path instead of the "
                            "compiled flat-array backend (for A/B comparison)")
 
+    dist = sub.add_parser(
+        "distributed",
+        help="run the event-driven distributed protocol engine on one network",
+    )
+    dist.add_argument("--family", choices=available_families(), default="hypercube")
+    dist.add_argument("--param", action="append", default=[], metavar="NAME=VALUE",
+                      help="network constructor parameter (repeatable), e.g. dimension=8")
+    dist.add_argument("--faults", type=int, default=None,
+                      help="number of faults to inject (default: the diagnosability)")
+    dist.add_argument("--placement", choices=["random", "clustered"], default="random")
+    dist.add_argument("--behavior", default="random",
+                      choices=["random", "all_zero", "all_one", "mimic", "anti_mimic"])
+    dist.add_argument("--seed", type=int, default=0)
+    dist.add_argument("--roots", type=int, default=1,
+                      help="number of concurrent known-healthy start nodes")
+    dist.add_argument("--loss-rate", type=float, default=0.0,
+                      help="per-transmission message-loss probability")
+    dist.add_argument("--duplicate-rate", type=float, default=0.0,
+                      help="per-transmission duplicate-delivery probability")
+    dist.add_argument("--latency", default="fixed:1", metavar="SPEC",
+                      help="per-link latency distribution: fixed:K or uniform:A:B")
+    dist.add_argument("--radius", type=int, default=3,
+                      help="extended-star gossip radius for the comparison row")
+    dist.add_argument("--trace", metavar="PATH", default=None,
+                      help="write the replayable event log to PATH")
+
     survey = sub.add_parser("survey", help="diagnose one instance of every family")
     survey.add_argument("--size", choices=["small", "medium"], default="small")
     survey.add_argument("--seed", type=int, default=0)
@@ -103,6 +135,59 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     print(f"syndrome lookups : {result.lookups} (full table: {syndrome_table_size(network)})")
     print(f"elapsed          : {result.elapsed_seconds * 1e3:.2f} ms")
     return 0 if correct else 1
+
+
+def _cmd_distributed(args: argparse.Namespace) -> int:
+    from .backend.array_syndrome import ArraySyndrome
+    from .distributed import ChannelConfig, ProtocolEngine, spread_roots
+    from .networks.registry import compiled_network
+
+    params = _parse_params(args.param)
+    if not params:
+        params = dict(FAMILIES[args.family].small)
+    network, csr = compiled_network(args.family, **params)
+    count = network.diagnosability() if args.faults is None else args.faults
+    if args.placement == "random":
+        faults = random_faults(network, count, seed=args.seed)
+    else:
+        faults = clustered_faults(network, count, seed=args.seed)
+    syndrome = ArraySyndrome.from_faults(csr, faults, behavior=args.behavior,
+                                         seed=args.seed)
+    healthy = [v for v in range(network.num_nodes) if v not in faults]
+    try:
+        roots = spread_roots(healthy, args.roots)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    config = ChannelConfig(latency=args.latency, loss_rate=args.loss_rate,
+                           duplicate_rate=args.duplicate_rate, seed=args.seed)
+    engine = ProtocolEngine(csr, config=config)
+    outcome = engine.run_set_builder(syndrome, roots, trace=args.trace is not None)
+    gossip = engine.run_gossip(args.radius)
+    false_positives = sorted(outcome.faulty - faults)
+
+    print(f"network          : {args.family} {params} (N={network.num_nodes})")
+    print(f"channel          : {config.describe()}")
+    print(f"roots            : {list(roots)}")
+    print(f"injected faults  : {sorted(faults)}")
+    print(f"diagnosed faults : {sorted(outcome.faulty)}")
+    print(f"false positives  : {false_positives}")
+    print(f"rounds           : {outcome.rounds} "
+          f"(growth {outcome.growth_rounds} + convergecast {outcome.convergecast_rounds})")
+    print(f"messages         : {outcome.messages} "
+          f"(invites {outcome.invites}, accepts {outcome.accepts}, "
+          f"reports {outcome.reports}, retries {outcome.retries})")
+    print(f"channel faults   : drops {outcome.drops}, duplicates {outcome.duplicates}, "
+          f"collisions {outcome.collisions}")
+    print(f"tree             : size {outcome.tree_size}, depth {outcome.tree_depth}, "
+          f"contributors {outcome.contributors}, merges {outcome.merges}")
+    print(f"gossip (r={args.radius})     : {gossip.rounds} rounds, "
+          f"{gossip.messages} messages "
+          f"({gossip.messages / max(outcome.messages, 1):.1f}x the engine)")
+    if args.trace is not None:
+        with open(args.trace, "w") as fh:
+            fh.write(outcome.trace.to_text())
+        print(f"trace            : {len(outcome.trace)} events -> {args.trace}")
+    return 0 if not false_positives else 1
 
 
 def _cmd_survey(args: argparse.Namespace) -> int:
@@ -149,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "diagnose":
         return _cmd_diagnose(args)
+    if args.command == "distributed":
+        return _cmd_distributed(args)
     if args.command == "survey":
         return _cmd_survey(args)
     if args.command == "properties":

@@ -1,5 +1,34 @@
-"""Distributed self-diagnosis simulation (the paper's further-research direction)."""
+"""Distributed self-diagnosis (the paper's further-research direction).
 
-from .simulator import DistributedRunStats, DistributedSetBuilder, extended_star_gossip_cost
+The protocol actually runs here: :class:`~repro.distributed.engine.\
+ProtocolEngine` floods invitations and convergecasts reports as real messages
+over a channel with per-link latency, loss and duplicate-delivery models,
+supports several concurrent known-healthy roots, and records replayable
+traces.  :mod:`repro.distributed.simulator` keeps the legacy single-root API
+(:class:`DistributedSetBuilder`) as a thin shim plus the original analytical
+model (:func:`derived_run_stats`) the engine is property-tested against.
+"""
 
-__all__ = ["DistributedSetBuilder", "DistributedRunStats", "extended_star_gossip_cost"]
+from .engine import GossipOutcome, ProtocolEngine, SetBuilderOutcome, spread_roots
+from .events import ChannelConfig, EventLog, Message, replay_stats
+from .simulator import (
+    DistributedRunStats,
+    DistributedSetBuilder,
+    derived_run_stats,
+    extended_star_gossip_cost,
+)
+
+__all__ = [
+    "ChannelConfig",
+    "DistributedRunStats",
+    "DistributedSetBuilder",
+    "EventLog",
+    "GossipOutcome",
+    "Message",
+    "ProtocolEngine",
+    "SetBuilderOutcome",
+    "derived_run_stats",
+    "extended_star_gossip_cost",
+    "replay_stats",
+    "spread_roots",
+]

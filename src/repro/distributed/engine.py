@@ -1,0 +1,710 @@
+"""Round-stepped, event-driven engine for the distributed diagnosis protocol.
+
+The legacy simulator (:mod:`repro.distributed.simulator`) *derived* round and
+message counts from a sequential ``Set_Builder`` run; nothing ever travelled.
+This engine makes the paper's concluding claim (experiment E9) executable as a
+real protocol: every node is a state machine with an inbox and an outbox,
+invitations/acceptances/convergecast reports are messages scheduled through a
+link layer with per-link latency, optional loss and duplicate delivery, and
+several known-healthy roots may flood concurrently with deterministic
+tree-merge arbitration.  A seeded run is a pure function of its inputs and can
+record a replayable trace (:class:`~repro.distributed.events.EventLog`).
+
+Protocol (one tree per root; all roots act in parallel)
+-------------------------------------------------------
+* **Round 1** — every root consults its *local* test results (its own
+  comparison tests — obtaining them costs no communication) and sends an
+  ``INVITE`` to each neighbour admitted by the paper's round-1 pair rule.
+* **Joining** — a non-member that receives invitations joins the tree of the
+  lexicographically least ``(root, inviter)`` among the invitations readable
+  that round (single root: the least inviter, matching ``Set_Builder``'s
+  "least contributor" tie-break).  It sends an ``ACCEPT`` to its parent in
+  the same round and emits its own invitations one round later (the join
+  handshake completes before recruiting) to every neighbour ``w`` with
+  ``s_v(w, parent) = 0`` that is not its parent and not already known to be
+  in a tree.  Tree-membership knowledge is strictly message-derived: a node
+  knows exactly the peers it has received frames from.
+* **Convergecast** — once growth quiesces, leaves report up the tree; every
+  internal node aggregates its subtree (members, boundary candidates and the
+  contributor count) into one ``REPORT`` to its parent.  Each root ends up
+  holding its tree's summary; the summaries are unioned for the run's
+  diagnosis (the trees partition the grown region, so contributors are never
+  double counted).  A node's boundary candidates are the neighbours whose
+  test against its parent returned 1 — under a healthy root these are
+  exactly its faulty neighbours, so message loss can shrink the grown tree
+  but can never mark a fault-free node faulty.
+
+Round/message accounting
+------------------------
+``rounds = growth + convergecast`` where growth is the round of the last
+membership change (minimum 2: the root's invitation round plus its listen
+round) and convergecast counts report-sending rounds; trailing redundant
+invitation deliveries overlap the convergecast, exactly as in the legacy
+analytical model.  On a **reliable** channel the protocol runs open-loop and
+two invitations crossing one link in opposite directions in the same round
+collide and are charged as a single frame (half-duplex coalescing — the
+collision itself tells both endpoints the peer is a member).  Under these
+conventions a unit-latency, lossless, single-root run reproduces the legacy
+``DistributedRunStats`` *exactly* — tree, rounds and messages — which the
+property tests assert.  On an unreliable channel the ARQ sublayer activates
+(``DECLINE``/``ACK`` responses, timeout retransmissions bounded by
+``max_retries``), so every run terminates at any loss rate; quiescence
+detection itself is oracle-provided on both sides of the E9 comparison, as
+in the legacy model.
+
+The extended-star comparator runs on the same substrate
+(:meth:`ProtocolEngine.run_gossip`): a radius-``r`` open-loop flood in which
+every node forwards each dissemination batch over every incident link, making
+the Chiang & Tan comparison apples-to-apples under identical channel models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..backend.csr import compile_network
+from ..core.syndrome import Syndrome
+from .events import (
+    ACCEPT,
+    ACK,
+    DECLINE,
+    GOSSIP,
+    INVITE,
+    REPORT,
+    ChannelConfig,
+    EventLog,
+    LatencyModel,
+    LossModel,
+    Message,
+)
+
+__all__ = ["ProtocolEngine", "SetBuilderOutcome", "GossipOutcome", "spread_roots"]
+
+
+def spread_roots(healthy: Sequence[int], count: int) -> tuple[int, ...]:
+    """``count`` evenly spaced roots drawn from a sorted healthy-node list.
+
+    The deterministic root-placement policy shared by the experiment trials,
+    the CLI and the benchmarks.
+    """
+    if count < 1:
+        raise ValueError("at least one root is required")
+    if count > len(healthy):
+        raise ValueError(f"cannot place {count} roots among {len(healthy)} healthy nodes")
+    step = len(healthy) // count
+    return tuple(healthy[i * step] for i in range(count))
+
+#: Hard cap on simulated rounds — a failed-termination guard, far above any
+#: legitimate run (growth is bounded by 2N rounds, ARQ by bounded retries).
+_MAX_ROUNDS = 1_000_000
+
+
+@dataclass
+class SetBuilderOutcome:
+    """Everything one engine run produced (statistics plus protocol truth)."""
+
+    roots: tuple[int, ...]
+    rounds: int
+    growth_rounds: int
+    convergecast_rounds: int
+    messages: int
+    invites: int
+    accepts: int
+    declines: int
+    reports: int
+    acks: int
+    retries: int
+    drops: int
+    duplicates: int
+    collisions: int
+    merges: int
+    members: frozenset[int]
+    parent: dict[int, int]
+    root_of: dict[int, int]
+    tree_depth: int
+    contributors: int
+    per_root_sizes: dict[int, int]
+    per_root_contributors: dict[int, int]
+    faulty: frozenset[int]
+    trace: EventLog | None = field(default=None, repr=False)
+
+    @property
+    def tree_size(self) -> int:
+        return len(self.members)
+
+    @property
+    def faults_found(self) -> int:
+        return len(self.faulty)
+
+
+@dataclass
+class GossipOutcome:
+    """Cost of the extended-star dissemination flood on the same channel."""
+
+    radius: int
+    rounds: int
+    messages: int
+    drops: int
+    duplicates: int
+    trace: EventLog | None = field(default=None, repr=False)
+
+
+def _local_result(syndrome: Syndrome, u: int, v: int, w: int) -> int:
+    """Node ``u``'s own test result ``s_u(v, w)`` — free, no lookup charged.
+
+    A node holds its local comparison results by construction (they *are* the
+    syndrome), so consulting them costs neither messages nor oracle lookups.
+    """
+    a, b = (v, w) if v < w else (w, v)
+    return syndrome._result(u, a, b)
+
+
+class _Pending:
+    """One unacknowledged ARQ frame awaiting its response."""
+
+    __slots__ = ("msg", "attempts", "due")
+
+    def __init__(self, msg: Message, due: int) -> None:
+        self.msg = msg
+        self.attempts = 0
+        self.due = due
+
+
+class ProtocolEngine:
+    """Event-driven protocol simulator over a compiled topology.
+
+    Parameters
+    ----------
+    topology:
+        A network or an already compiled
+        :class:`~repro.backend.csr.CSRAdjacency`.
+    config:
+        The channel model (:class:`~repro.distributed.events.ChannelConfig`);
+        defaults to the reliable unit-latency channel, under which the
+        set-builder protocol's accounting coincides with the legacy model.
+    """
+
+    def __init__(self, topology, *, config: ChannelConfig | None = None) -> None:
+        self.csr = compile_network(topology)
+        self.config = config or ChannelConfig()
+        model = LatencyModel.from_spec(self.config.latency)
+        if model.name == "fixed":
+            # The common case (and the legacy-parity path): no per-edge dict,
+            # no per-frame lookup.
+            self._fixed_latency: int | None = model.args[0]
+            self._latency: dict[tuple[int, int], int] = {}
+        else:
+            self._fixed_latency = None
+            edges = [
+                (u, int(v))
+                for u in range(self.csr.num_nodes)
+                for v in self.csr.neighbors(u)
+                if u < v
+            ]
+            self._latency = model.sample_links(edges, self.config.seed)
+
+    # ------------------------------------------------------------- utilities
+    def _link_latency(self, u: int, v: int) -> int:
+        if self._fixed_latency is not None:
+            return self._fixed_latency
+        return self._latency[(u, v) if u < v else (v, u)]
+
+    # ------------------------------------------------------- set_builder run
+    def run_set_builder(
+        self,
+        syndrome: Syndrome,
+        roots: Sequence[int] | int,
+        *,
+        trace: bool = False,
+    ) -> SetBuilderOutcome:
+        """Flood the paper's protocol from one or more known-healthy roots.
+
+        ``roots`` must be fault-free (the paper's standing assumption for the
+        start node); the engine cannot verify this and a faulty root voids
+        the diagnosis guarantee exactly as it does for ``Set_Builder``.
+        """
+        if isinstance(roots, int):
+            roots = (roots,)
+        roots = tuple(sorted({int(r) for r in roots}))
+        if not roots:
+            raise ValueError("at least one root is required")
+        for r in roots:
+            if not 0 <= r < self.csr.num_nodes:
+                raise ValueError(f"root {r} is not a node of the network")
+
+        cfg = self.config
+        rows = self.csr.rows
+        loss = LossModel(cfg)
+        log = EventLog() if trace else None
+
+        n = self.csr.num_nodes
+        member = bytearray(n)
+        parent: dict[int, int] = {}
+        root_of: dict[int, int] = {}
+        join_round: dict[int, int] = {}
+        known: dict[int, set[int]] = {}
+        boundary_cand: dict[int, set[int]] = {}
+        children: dict[int, set[int]] = {}
+        merge_links: set[tuple[int, int]] = set()
+
+        for r in roots:
+            member[r] = 1
+            root_of[r] = r
+            join_round[r] = 0
+            known[r] = set()
+            children[r] = set()
+
+        counters = {
+            INVITE: 0, ACCEPT: 0, DECLINE: 0, REPORT: 0, ACK: 0,
+            "retries": 0, "drops": 0, "dups": 0, "collisions": 0, "messages": 0,
+        }
+        seq_counter = [0]
+        deliveries: dict[int, list[tuple[Message, bool]]] = {}
+        emit_at: dict[int, list[int]] = {}
+        pending: dict[tuple[int, int], _Pending] = {}  # (src, dst) -> invite ARQ
+        outbox: list[Message] = []
+
+        def make(kind: str, src: int, dst: int, tree: int) -> Message:
+            seq_counter[0] += 1
+            return Message(kind, src, dst, tree, seq_counter[0])
+
+        def transmit(msg: Message, t: int, *, coalesced_with: Message | None = None,
+                     retry: int = 0) -> None:
+            """Charge one frame and schedule its (and its twin's) delivery."""
+            counters["messages"] += 1
+            if retry:
+                counters["retries"] += 1
+            if log is not None:
+                log.send(t, msg, retry=retry)
+                if coalesced_with is not None:
+                    log.send(t, coalesced_with)
+                    log.collide(t, msg.src, msg.dst)
+            if coalesced_with is not None:
+                counters["collisions"] += 1
+            frames = [msg] if coalesced_with is None else [msg, coalesced_with]
+            if loss.dropped():
+                counters["drops"] += len(frames)
+                if log is not None:
+                    for f in frames:
+                        log.drop(t, f)
+                return
+            for f in frames:
+                lat = self._link_latency(f.src, f.dst)
+                deliveries.setdefault(t + lat, []).append((f, False))
+                if loss.duplicated():
+                    counters["dups"] += 1
+                    deliveries.setdefault(t + lat + 1, []).append((f, True))
+
+        def flush(t: int) -> None:
+            """Flush the round's outbox, coalescing reliable-mode collisions."""
+            if not outbox:
+                return
+            frames = sorted(outbox, key=lambda m: m.seq)
+            outbox.clear()
+            if cfg.reliable:
+                # Opposite-direction invitations on one link in the same
+                # round collide into a single half-duplex frame.
+                by_link: dict[tuple[int, int], list[Message]] = {}
+                for m in frames:
+                    if m.kind == INVITE:
+                        link = (m.src, m.dst) if m.src < m.dst else (m.dst, m.src)
+                        by_link.setdefault(link, []).append(m)
+                coalesced: set[int] = set()
+                for link, group in by_link.items():
+                    if len(group) == 2 and group[0].src == group[1].dst:
+                        coalesced.update((group[0].seq, group[1].seq))
+                        counters[INVITE] += 2
+                        transmit(group[0], t, coalesced_with=group[1])
+                for m in frames:
+                    if m.seq in coalesced:
+                        continue
+                    counters[m.kind] += 1
+                    transmit(m, t)
+            else:
+                for m in frames:
+                    counters[m.kind] += 1
+                    transmit(m, t)
+
+        def do_join(v: int, t: int, tree: int, par: int) -> None:
+            member[v] = 1
+            parent[v] = par
+            root_of[v] = tree
+            join_round[v] = t
+            boundary_cand[v] = {
+                w for w in rows[v]
+                if w != par and _local_result(syndrome, v, w, par) == 1
+            }
+            if log is not None:
+                log.join(t, v, par, tree)
+
+        # -------------------------------------------------- round 1: roots
+        seen_seqs: dict[int, set[int]] = {}
+        for r in roots:
+            row = rows[r]
+            admitted: set[int] = set()
+            for i, v in enumerate(row):
+                for w in row[i + 1:]:
+                    if _local_result(syndrome, r, v, w) == 0:
+                        admitted.add(v)
+                        admitted.add(w)
+            boundary_cand[r] = set(row) - admitted
+            for v in sorted(admitted):
+                outbox.append(make(INVITE, r, v, r))
+                if not cfg.reliable:
+                    msg = outbox[-1]
+                    pending[(r, v)] = _Pending(msg, cfg.timeout + 1)
+
+        t = 1
+        flush(t)
+        last_join = 0
+
+        # ------------------------------------------------------ growth loop
+        while True:
+            if t > _MAX_ROUNDS:
+                raise RuntimeError("protocol engine failed to quiesce (growth)")
+            if not deliveries and not emit_at and not pending:
+                break
+            t += 1
+            # 1. process deliveries readable this round, grouped per receiver
+            todays = deliveries.pop(t, [])
+            todays.sort(key=lambda d: (d[0].dst, d[0].src, d[0].kind, d[0].seq))
+            invites_by_dst: dict[int, list[Message]] = {}
+            for msg, is_dup in todays:
+                if log is not None:
+                    log.deliver(t, msg, dup=is_dup)
+                seen = seen_seqs.setdefault(msg.dst, set())
+                if msg.seq in seen:
+                    continue  # duplicate-delivery artifact: idempotent receive
+                seen.add(msg.seq)
+                v = msg.dst
+                known.setdefault(v, set()).add(msg.src)
+                if msg.kind == INVITE:
+                    invites_by_dst.setdefault(v, []).append(msg)
+                elif msg.kind == ACCEPT:
+                    children.setdefault(v, set()).add(msg.src)
+                    pending.pop((v, msg.src), None)
+                elif msg.kind == DECLINE:
+                    pending.pop((v, msg.src), None)
+            # 2. join decisions (after the whole round's inbox is visible)
+            for v in sorted(invites_by_dst):
+                invs = invites_by_dst[v]
+                if not member[v]:
+                    best = min(invs, key=lambda m: (m.tree, m.src))
+                    do_join(v, t, best.tree, best.src)
+                    children.setdefault(best.src, set()).add(v)
+                    last_join = t
+                    outbox.append(make(ACCEPT, v, best.src, best.tree))
+                    emit_at.setdefault(t + 1, []).append(v)
+                    if not cfg.reliable:
+                        for m in invs:
+                            if m.src != best.src:
+                                outbox.append(make(DECLINE, v, m.src, root_of[v]))
+                else:
+                    for m in invs:
+                        if m.tree != root_of[v]:
+                            link = (v, m.src) if v < m.src else (m.src, v)
+                            if link not in merge_links:
+                                merge_links.add(link)
+                                if log is not None:
+                                    log.merge(t, v, m.src, (root_of[v], m.tree))
+                    if not cfg.reliable:
+                        for m in invs:
+                            kind = ACCEPT if parent.get(v) == m.src else DECLINE
+                            outbox.append(make(kind, v, m.src, root_of[v]))
+            # 3. invitation emissions due this round
+            for v in sorted(emit_at.pop(t, [])):
+                par = parent[v]
+                ktree = known.get(v, set())
+                for w in rows[v]:
+                    if w == par or w in ktree:
+                        continue
+                    if _local_result(syndrome, v, w, par) == 0:
+                        outbox.append(make(INVITE, v, w, root_of[v]))
+                        if not cfg.reliable:
+                            pending[(v, w)] = _Pending(outbox[-1], t + cfg.timeout)
+            # 4. ARQ retransmissions due this round
+            if pending:
+                for key in sorted(pending):
+                    entry = pending[key]
+                    if entry.due > t:
+                        continue
+                    if entry.attempts >= cfg.max_retries:
+                        del pending[key]
+                        continue
+                    entry.attempts += 1
+                    entry.due = t + cfg.timeout
+                    src, dst = key
+                    msg = make(INVITE, src, dst, entry.msg.tree)
+                    entry.msg = msg
+                    counters[INVITE] += 1
+                    transmit(msg, t, retry=entry.attempts)
+            flush(t)
+
+        growth_rounds = max(2, last_join)
+        growth_end = t
+
+        # ------------------------------------------------------ convergecast
+        members = frozenset(i for i in range(n) if member[i])
+        non_roots = sorted(members - set(roots))
+        if log is not None:
+            log.stage(growth_end, "convergecast")
+
+        reported: dict[int, set[int]] = {v: set() for v in members}
+        payloads: dict[int, dict[int, tuple[frozenset, frozenset, int]]] = {
+            v: {} for v in members
+        }
+        sent_report: set[int] = set()
+        report_pending: dict[tuple[int, int], _Pending] = {}
+        force_round = cfg.timeout * (cfg.max_retries + 2)
+        cc_last_send = 0
+        s = 0
+        cc_deliveries: dict[int, list[tuple[Message, bool]]] = {}
+
+        def subtree_payload(v: int) -> tuple[frozenset, frozenset, int]:
+            mem = {v}
+            bnd = set(boundary_cand.get(v, ()) ) - known.get(v, set())
+            contrib = 1 if children.get(v) else 0
+            for _, (cm, cb, cc) in sorted(payloads[v].items()):
+                mem.update(cm)
+                bnd.update(cb)
+                contrib += cc
+            return frozenset(mem), frozenset(bnd), contrib
+
+        def report_transmit(msg: Message, rnd: int, *, retry: int = 0) -> None:
+            nonlocal cc_last_send
+            counters["messages"] += 1
+            counters[msg.kind] += 1
+            if retry:
+                counters["retries"] += 1
+            cc_last_send = max(cc_last_send, rnd - growth_end)
+            if log is not None:
+                log.send(rnd, msg, retry=retry)
+            if loss.dropped():
+                counters["drops"] += 1
+                if log is not None:
+                    log.drop(rnd, msg)
+                return
+            lat = self._link_latency(msg.src, msg.dst)
+            cc_deliveries.setdefault(rnd + lat, []).append((msg, False))
+            if loss.duplicated():
+                counters["dups"] += 1
+                cc_deliveries.setdefault(rnd + lat + 1, []).append((msg, True))
+
+        while True:
+            if s > _MAX_ROUNDS:
+                raise RuntimeError("protocol engine failed to quiesce (convergecast)")
+            s += 1
+            rnd = growth_end + s
+            for msg, is_dup in sorted(
+                cc_deliveries.pop(rnd, []),
+                key=lambda d: (d[0].dst, d[0].src, d[0].kind, d[0].seq),
+            ):
+                if log is not None:
+                    log.deliver(rnd, msg, dup=is_dup)
+                seen = seen_seqs.setdefault(msg.dst, set())
+                if msg.seq in seen:
+                    continue
+                seen.add(msg.seq)
+                u = msg.dst
+                if msg.kind == REPORT:
+                    payloads[u][msg.src] = msg.payload
+                    reported[u].add(msg.src)
+                    if not cfg.reliable:
+                        report_transmit(make(ACK, u, msg.src, msg.tree), rnd)
+                elif msg.kind == ACK:
+                    report_pending.pop((u, msg.src), None)
+            # which nodes can (or must) send their report this round?
+            for v in non_roots:
+                if v in sent_report:
+                    continue
+                kids = children.get(v, set())
+                ready = reported[v] >= kids
+                forced = (not cfg.reliable) and s >= force_round
+                if ready or forced:
+                    sent_report.add(v)
+                    payload = subtree_payload(v)
+                    msg = Message(REPORT, v, parent[v], root_of[v],
+                                  seq_counter[0] + 1, payload)
+                    seq_counter[0] += 1
+                    report_transmit(msg, rnd)
+                    if not cfg.reliable:
+                        report_pending[(v, parent[v])] = _Pending(msg, rnd + cfg.timeout)
+            # ARQ retransmissions for unacked reports
+            if report_pending:
+                for key in sorted(report_pending):
+                    entry = report_pending[key]
+                    if entry.due > rnd:
+                        continue
+                    if entry.attempts >= cfg.max_retries:
+                        del report_pending[key]
+                        continue
+                    entry.attempts += 1
+                    entry.due = rnd + cfg.timeout
+                    old = entry.msg
+                    msg = Message(REPORT, old.src, old.dst, old.tree,
+                                  seq_counter[0] + 1, old.payload)
+                    seq_counter[0] += 1
+                    entry.msg = msg
+                    report_transmit(msg, rnd, retry=entry.attempts)
+            if not cc_deliveries and not report_pending and \
+                    len(sent_report) == len(non_roots):
+                break
+            if not cc_deliveries and not report_pending and cfg.reliable:
+                break  # reliable runs cannot make further progress
+
+        # ------------------------------------------------------- aggregation
+        # Each root now holds its tree's summary; the summaries are unioned
+        # (the roots are mutually reachable through the assumed-healthy
+        # coordination channel; that exchange is not charged — noted as a
+        # follow-on in ROADMAP.md).
+        agg_members: set[int] = set()
+        agg_boundary: set[int] = set()
+        per_root_sizes: dict[int, int] = {}
+        per_root_contributors: dict[int, int] = {}
+        for r in roots:
+            mem, bnd, contrib = subtree_payload(r)
+            per_root_sizes[r] = len(mem)
+            per_root_contributors[r] = contrib
+            agg_members.update(mem)
+            agg_boundary.update(bnd)
+        faulty = frozenset(agg_boundary - agg_members)
+        contributors = sum(per_root_contributors.values())
+
+        depth_cache: dict[int, int] = {r: 0 for r in roots}
+
+        def depth_of(v: int) -> int:
+            chain = []
+            while v not in depth_cache:
+                chain.append(v)
+                v = parent[v]
+            d = depth_cache[v]
+            for node in reversed(chain):
+                d += 1
+                depth_cache[node] = d
+            return depth_cache[chain[0]] if chain else d
+
+        tree_depth = max((depth_of(v) for v in members), default=0)
+        convergecast_rounds = cc_last_send
+        rounds = growth_rounds + convergecast_rounds
+
+        if log is not None:
+            log.stats(
+                rounds=rounds,
+                messages=counters["messages"],
+                tree_size=len(members),
+                tree_depth=tree_depth,
+                faults_found=len(faulty),
+                roots=len(roots),
+                contributors=contributors,
+                drops=counters["drops"],
+                retries=counters["retries"],
+            )
+
+        return SetBuilderOutcome(
+            roots=roots,
+            rounds=rounds,
+            growth_rounds=growth_rounds,
+            convergecast_rounds=convergecast_rounds,
+            messages=counters["messages"],
+            invites=counters[INVITE],
+            accepts=counters[ACCEPT],
+            declines=counters[DECLINE],
+            reports=counters[REPORT],
+            acks=counters[ACK],
+            retries=counters["retries"],
+            drops=counters["drops"],
+            duplicates=counters["dups"],
+            collisions=counters["collisions"],
+            merges=len(merge_links),
+            members=members,
+            parent=parent,
+            root_of=root_of,
+            tree_depth=tree_depth,
+            contributors=contributors,
+            per_root_sizes=per_root_sizes,
+            per_root_contributors=per_root_contributors,
+            faulty=faulty,
+            trace=log,
+        )
+
+    # ------------------------------------------------------------ gossip run
+    def run_gossip(self, radius: int = 3, *, trace: bool = False) -> GossipOutcome:
+        """Radius-``r`` extended-star data dissemination on the same channel.
+
+        Every node must learn the local test results of its radius-``r``
+        neighbourhood (the data Chiang & Tan's per-node rule consumes), so
+        each node forwards one dissemination batch per hop over every
+        incident link.  The flood is open-loop (no ARQ): with loss, batches
+        that stall are force-sent after ``timeout`` rounds, so the flood
+        terminates and its delivered coverage simply degrades.  On the
+        reliable unit-latency channel the cost is exactly ``radius`` rounds
+        and ``radius · 2|E|`` messages — the legacy closed form.
+        """
+        if radius < 1:
+            raise ValueError("radius must be >= 1")
+        cfg = self.config
+        rows = self.csr.rows
+        n = self.csr.num_nodes
+        loss = LossModel(cfg)
+        log = EventLog() if trace else None
+
+        got: list[list[int]] = [[0] * (radius + 1) for _ in range(n)]
+        next_batch = [1] * n
+        degree = [len(rows[v]) for v in range(n)]
+        deliveries: dict[int, list[tuple[int, int, int, bool]]] = {}
+        messages = drops = dups = 0
+        last_send = 0
+        seq = 0
+
+        t = 0
+        while True:
+            if t > _MAX_ROUNDS:
+                raise RuntimeError("protocol engine failed to quiesce (gossip)")
+            t += 1
+            for src, dst, batch, is_dup in sorted(deliveries.pop(t, [])):
+                if log is not None:
+                    msg = Message(GOSSIP, src, dst, batch, 0)
+                    log.deliver(t, msg, dup=is_dup)
+                if not is_dup:
+                    got[dst][batch] += 1
+            for v in range(n):
+                k = next_batch[v]
+                if k > radius:
+                    continue
+                ready = k == 1 or got[v][k - 1] >= degree[v]
+                forced = (not cfg.reliable) and t >= k * cfg.timeout
+                if t >= k and (ready or forced):
+                    next_batch[v] = k + 1
+                    for w in rows[v]:
+                        seq += 1
+                        messages += 1
+                        last_send = t
+                        if log is not None:
+                            log.send(t, Message(GOSSIP, v, w, k, seq))
+                        if loss.dropped():
+                            drops += 1
+                            if log is not None:
+                                log.drop(t, Message(GOSSIP, v, w, k, seq))
+                            continue
+                        lat = self._link_latency(v, w)
+                        deliveries.setdefault(t + lat, []).append((v, w, k, False))
+                        if loss.duplicated():
+                            dups += 1
+                            deliveries.setdefault(t + lat + 1, []).append(
+                                (v, w, k, True))
+            if not deliveries and all(b > radius for b in next_batch):
+                break
+
+        if log is not None:
+            log.stats(rounds=last_send, messages=messages, tree_size=0,
+                      tree_depth=0, faults_found=0, roots=0,
+                      contributors=0, drops=drops, retries=0)
+        return GossipOutcome(
+            radius=radius,
+            rounds=last_send,
+            messages=messages,
+            drops=drops,
+            duplicates=dups,
+            trace=log,
+        )

@@ -1,0 +1,317 @@
+"""Messages, channel models and the replayable trace log of the protocol engine.
+
+The engine (:mod:`repro.distributed.engine`) simulates the paper's distributed
+self-diagnosis as *real* messages between node state machines.  This module
+holds everything message-shaped:
+
+* :class:`Message` — one protocol frame (kind, endpoints, owning tree);
+* :class:`ChannelConfig` — the link-layer knobs of a run: per-link latency
+  distribution, message-loss rate, duplicate-delivery rate and the ARQ
+  (timeout/retry) parameters that activate on unreliable channels;
+* :class:`LatencyModel` / :class:`LossModel` — seeded, deterministic samplers
+  behind those knobs (latencies are drawn once per undirected link at engine
+  construction; loss and duplication are drawn per transmission in the
+  scheduler's canonical order, so a run is a pure function of its inputs);
+* :class:`EventLog` — the trace recorder.  Every send, delivery, drop,
+  duplicate, collision, join and report is appended as one canonical text
+  line; identical inputs produce byte-identical logs, which the golden tests
+  check in, and :func:`replay_stats` re-derives the headline statistics from
+  the log alone so a trace can be audited without re-running the engine.
+
+Nothing in this module knows the diagnosis protocol; it is the substrate the
+engine's state machines run on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "INVITE",
+    "ACCEPT",
+    "DECLINE",
+    "REPORT",
+    "ACK",
+    "GOSSIP",
+    "Message",
+    "ChannelConfig",
+    "LatencyModel",
+    "LossModel",
+    "EventLog",
+    "ReplayedStats",
+    "replay_stats",
+]
+
+# Protocol frame kinds.  INVITE/ACCEPT carry the tree growth, REPORT the
+# convergecast; DECLINE and ACK exist only on unreliable channels (the ARQ
+# sublayer); GOSSIP is the extended-star dissemination comparator.
+INVITE = "INVITE"
+ACCEPT = "ACCEPT"
+DECLINE = "DECLINE"
+REPORT = "REPORT"
+ACK = "ACK"
+GOSSIP = "GOSSIP"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol frame.
+
+    ``tree`` is the root id of the tree the frame belongs to (the flood a
+    node is recruiting for, or the convergecast it reports into); ``seq`` is
+    a globally unique send sequence number used for receiver-side
+    deduplication under duplicate delivery and for trace identity.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    tree: int
+    seq: int
+    payload: tuple = ()
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Link-layer model of one engine run.
+
+    ``latency`` is a distribution spec (``"fixed:K"`` or ``"uniform:A:B"``,
+    rounds per hop, minimum 1) sampled once per undirected link;
+    ``loss_rate`` / ``duplicate_rate`` are per-transmission probabilities.
+    When both rates are zero the channel is *reliable* and the protocol runs
+    open-loop — no DECLINEs, ACKs or retransmissions exist, which is what
+    makes the baseline accounting coincide with the legacy analytical model.
+    On an unreliable channel the ARQ sublayer activates: every INVITE expects
+    an ACCEPT or DECLINE, every REPORT expects an ACK, and unanswered frames
+    are retransmitted every ``timeout`` rounds up to ``max_retries`` times,
+    so every run terminates regardless of the loss rate.
+    """
+
+    latency: str = "fixed:1"
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    timeout: int = 4
+    max_retries: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must lie in [0, 1)")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValueError("duplicate_rate must lie in [0, 1)")
+        if self.timeout < 1 or self.max_retries < 0:
+            raise ValueError("timeout must be >= 1 and max_retries >= 0")
+        LatencyModel.from_spec(self.latency)  # validate eagerly
+
+    @property
+    def reliable(self) -> bool:
+        """True when no link-layer fault model is active (open-loop protocol)."""
+        return self.loss_rate == 0.0 and self.duplicate_rate == 0.0
+
+    def describe(self) -> str:
+        return (f"latency={self.latency} loss={self.loss_rate} "
+                f"dup={self.duplicate_rate} seed={self.seed}")
+
+
+class LatencyModel:
+    """Per-link latency distribution, sampled deterministically from a spec."""
+
+    def __init__(self, name: str, args: tuple[int, ...]) -> None:
+        self.name = name
+        self.args = args
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "LatencyModel":
+        parts = spec.split(":")
+        name, raw = parts[0], parts[1:]
+        try:
+            args = tuple(int(a) for a in raw)
+        except ValueError as exc:
+            raise ValueError(f"non-integer latency parameter in {spec!r}") from exc
+        if name == "fixed":
+            if len(args) != 1 or args[0] < 1:
+                raise ValueError(f"fixed latency needs one parameter >= 1, got {spec!r}")
+        elif name == "uniform":
+            if len(args) != 2 or not 1 <= args[0] <= args[1]:
+                raise ValueError(f"uniform latency needs 1 <= A <= B, got {spec!r}")
+        else:
+            raise ValueError(f"unknown latency distribution {spec!r}")
+        return cls(name, args)
+
+    def sample_links(self, edges: Iterable[tuple[int, int]], seed: int) -> dict[tuple[int, int], int]:
+        """One symmetric latency per undirected link, in canonical edge order.
+
+        ``edges`` must be iterated in a deterministic order (the engine passes
+        the sorted ``u < v`` edge list of the compiled topology), so the same
+        spec and seed always produce the same link map.
+        """
+        rng = random.Random(seed)
+        latencies: dict[tuple[int, int], int] = {}
+        for u, v in edges:
+            if self.name == "fixed":
+                lat = self.args[0]
+            else:
+                lat = rng.randint(self.args[0], self.args[1])
+            latencies[(u, v)] = lat
+        return latencies
+
+
+class LossModel:
+    """Per-transmission Bernoulli loss and duplication draws (seeded).
+
+    The engine calls :meth:`dropped` / :meth:`duplicated` once per
+    transmission in its canonical send order, so the fault pattern is a
+    deterministic function of ``(config, topology, protocol inputs)``.
+    """
+
+    def __init__(self, config: ChannelConfig) -> None:
+        self.config = config
+        self._rng = random.Random((config.seed * 0x9E3779B1) & 0xFFFFFFFF)
+
+    def dropped(self) -> bool:
+        if self.config.loss_rate == 0.0:
+            return False
+        return self._rng.random() < self.config.loss_rate
+
+    def duplicated(self) -> bool:
+        if self.config.duplicate_rate == 0.0:
+            return False
+        return self._rng.random() < self.config.duplicate_rate
+
+
+class EventLog:
+    """Append-only trace of one engine run, one canonical text line per event.
+
+    The format is a stable, replayable record: fields are space-separated,
+    rounds are zero-padded to four digits and node sets are emitted sorted,
+    so a run's log is byte-for-byte reproducible.  ``STATS`` is always the
+    final line and carries the run's headline numbers.
+    """
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    # ------------------------------------------------------------- recording
+    def event(self, round_no: int, kind: str, *fields: object) -> None:
+        parts = [f"R{round_no:04d}", kind]
+        parts.extend(str(f) for f in fields)
+        self.lines.append(" ".join(parts))
+
+    def send(self, round_no: int, msg: Message, *, retry: int = 0) -> None:
+        tag = f" retry={retry}" if retry else ""
+        self.event(round_no, "SEND",
+                   f"{msg.kind} {msg.src}->{msg.dst} tree={msg.tree} seq={msg.seq}{tag}")
+
+    def deliver(self, round_no: int, msg: Message, *, dup: bool = False) -> None:
+        kind = "DUP-DELIVER" if dup else "DELIVER"
+        self.event(round_no, kind,
+                   f"{msg.kind} {msg.src}->{msg.dst} tree={msg.tree} seq={msg.seq}")
+
+    def drop(self, round_no: int, msg: Message) -> None:
+        self.event(round_no, "DROP",
+                   f"{msg.kind} {msg.src}->{msg.dst} tree={msg.tree} seq={msg.seq}")
+
+    def collide(self, round_no: int, u: int, v: int) -> None:
+        self.event(round_no, "COLLIDE", f"{u}<->{v}")
+
+    def join(self, round_no: int, node: int, parent: int, tree: int) -> None:
+        self.event(round_no, "JOIN", f"{node} parent={parent} tree={tree}")
+
+    def merge(self, round_no: int, node: int, other: int, trees: tuple[int, int]) -> None:
+        self.event(round_no, "MERGE", f"{node}~{other} trees={trees[0]},{trees[1]}")
+
+    def stage(self, round_no: int, name: str) -> None:
+        self.event(round_no, "STAGE", name)
+
+    def stats(self, **numbers: int) -> None:
+        body = " ".join(f"{k}={v}" for k, v in sorted(numbers.items()))
+        self.lines.append(f"STATS {body}")
+
+    # -------------------------------------------------------------- exports
+    def to_text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.lines)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+
+@dataclass(frozen=True)
+class ReplayedStats:
+    """Statistics re-derived from a trace log (see :func:`replay_stats`)."""
+
+    rounds: int
+    messages: int
+    tree_size: int
+    tree_depth: int
+    faults_found: int
+    joins: int = 0
+    sends: int = 0
+    drops: int = 0
+    duplicates: int = 0
+    collisions: int = 0
+    merges: int = field(default=0)
+
+
+def replay_stats(text: str) -> ReplayedStats:
+    """Re-derive a run's statistics from its trace log alone.
+
+    The replay cross-checks the log's internal consistency: the number of
+    ``JOIN`` lines must agree with the ``STATS`` tree size (joins exclude the
+    roots), and the charged message count must equal the number of ``SEND``
+    lines minus the collision-coalesced frames.  A trace that fails these
+    checks was corrupted or truncated.
+    """
+    sends = drops = dups = collisions = joins = merges = 0
+    stats: dict[str, int] = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("STATS"):
+            for token in line.split()[1:]:
+                key, value = token.split("=", 1)
+                stats[key] = int(value)
+            continue
+        parts = line.split()
+        kind = parts[1]
+        if kind == "SEND":
+            sends += 1
+        elif kind == "DROP":
+            drops += 1
+        elif kind == "DUP-DELIVER":
+            dups += 1
+        elif kind == "COLLIDE":
+            collisions += 1
+        elif kind == "JOIN":
+            joins += 1
+        elif kind == "MERGE":
+            merges += 1
+    if not stats:
+        raise ValueError("trace log has no STATS line (truncated?)")
+    if sends - collisions != stats["messages"]:
+        raise ValueError(
+            f"trace inconsistent: {sends} SEND lines, {collisions} collisions, "
+            f"but STATS claims {stats['messages']} messages"
+        )
+    if joins + stats["roots"] != stats["tree_size"]:
+        raise ValueError(
+            f"trace inconsistent: {joins} JOIN lines + {stats['roots']} roots "
+            f"!= tree size {stats['tree_size']}"
+        )
+    return ReplayedStats(
+        rounds=stats["rounds"],
+        messages=stats["messages"],
+        tree_size=stats["tree_size"],
+        tree_depth=stats["tree_depth"],
+        faults_found=stats["faults_found"],
+        joins=joins,
+        sends=sends,
+        drops=drops,
+        duplicates=dups,
+        collisions=collisions,
+        merges=merges,
+    )

@@ -1,27 +1,21 @@
-"""Round-based simulation of distributed self-diagnosis.
+"""Compatibility shim over the event-driven protocol engine.
 
-The paper's concluding section argues that the discovery of the faulty nodes
-should itself be performed by the (fault-free) communication system of the
-multiprocessor, and reports that a distributed implementation of the paper's
-algorithm in hypercubes beats a distributed implementation of Chiang & Tan's.
-This module provides the substrate for that claim (experiment E9): a
-synchronous message-passing simulator in which
+.. deprecated::
+    This module no longer *is* the simulator.  The distributed protocol now
+    actually runs — messages, per-link latency, loss, concurrent roots — in
+    :mod:`repro.distributed.engine`; use :class:`~repro.distributed.engine.\
+ProtocolEngine` directly for anything beyond the legacy single-root,
+    reliable-channel statistics.  :class:`DistributedSetBuilder` is kept as a
+    thin adapter so existing callers (and the E9 tables) keep working, and
+    :func:`derived_run_stats` preserves the original *analytical* model —
+    counts derived after the fact from a sequential ``Set_Builder`` run —
+    as the reference the engine's property tests and the backend benchmark
+    compare against.
 
-* every node initially holds only its *local* test results
-  ``s_u(v, w)`` for its own neighbour pairs (obtaining them costs no
-  communication rounds — they are the syndrome);
-* the communication network is fault-free and synchronous: in each round a
-  node may send one message to each neighbour (the paper's assumption that
-  links and the communication system are reliable);
-* the paper's algorithm is run in its natural distributed form: the start
-  node ``u0`` floods invitations along 0-tests, each invited node joins the
-  tree and continues the flood, and contributor counts are aggregated up the
-  tree (a convergecast) so the root learns when the certificate fires.
-
-The simulator counts rounds and messages.  The comparison point for Chiang &
-Tan's algorithm is the cost of assembling the data their per-node rule needs:
-every node must learn the test results of its extended star, which requires
-each node to disseminate its local results over a fixed radius.
+The two agree exactly: for a unit-latency, lossless, single-root run the
+engine's tree, round count and message count coincide with the derived
+model (this equivalence is property-tested in
+``tests/distributed/test_engine.py``).
 """
 
 from __future__ import annotations
@@ -32,8 +26,14 @@ from ..backend.csr import compile_network
 from ..core.set_builder import set_builder
 from ..core.syndrome import Syndrome
 from ..networks.base import InterconnectionNetwork
+from .engine import ProtocolEngine
 
-__all__ = ["DistributedRunStats", "DistributedSetBuilder", "extended_star_gossip_cost"]
+__all__ = [
+    "DistributedRunStats",
+    "DistributedSetBuilder",
+    "derived_run_stats",
+    "extended_star_gossip_cost",
+]
 
 
 @dataclass(frozen=True)
@@ -51,96 +51,112 @@ class DistributedRunStats:
 
 
 class DistributedSetBuilder:
-    """Distributed execution of the paper's algorithm from a known-healthy root.
+    """Single-root distributed diagnosis on the reliable synchronous channel.
 
-    The simulation mirrors the message flow of a distributed ``Set_Builder``:
-
-    * **round 2·i** — every node that joined the tree in the previous round
-      ("the frontier") sends an *invitation* to each neighbour whose test
-      against the sender's parent returned 0 (one message per invited
-      neighbour) and a *rejection notice* is implicit (no message);
-    * **round 2·i + 1** — invited nodes that are not yet in the tree send an
-      *acceptance* back to the chosen parent (one message each);
-    * when growth stops, the contributor count and the identity of the
-      boundary (the diagnosed faults) are aggregated to the root by a
-      convergecast along the tree (``depth`` rounds, one message per tree
-      edge).
-
-    The per-round and per-message accounting therefore depends only on the
-    final tree, which the simulator obtains by running the sequential
-    ``Set_Builder`` on the same syndrome — the distributed protocol explores
-    exactly the same sets ``U_i`` because membership decisions depend only on
-    local test results.
+    .. deprecated::
+        Thin compatibility adapter: each :meth:`run` delegates to
+        :class:`~repro.distributed.engine.ProtocolEngine` with the default
+        (unit-latency, lossless) channel and repackages the outcome as
+        :class:`DistributedRunStats`.  New code should construct a
+        :class:`ProtocolEngine` directly, which also exposes latency/loss
+        models, concurrent roots and trace recording.
     """
 
     def __init__(self, network: InterconnectionNetwork, *, diagnosability: int | None = None):
         self.network = network
         self.csr = compile_network(network)
         self.delta = network.diagnosability() if diagnosability is None else int(diagnosability)
+        self.engine = ProtocolEngine(self.csr)
 
     def run(self, syndrome: Syndrome, root: int) -> DistributedRunStats:
-        """Simulate the distributed growth + convergecast from ``root``."""
-        result = set_builder(self.network, syndrome, root, diagnosability=self.delta)
-
-        # Depth of the tree = number of growth phases.
-        depth = 0
-        for node in result.nodes:
-            depth = max(depth, result.depth_of(node))
-
-        # Invitations: every node u in the tree sends, while on the frontier,
-        # one message to each neighbour it invites (0-test against t(u)); in
-        # the worst case it probes all its neighbours, but only invitations
-        # are transmitted.  Acceptances: one per tree edge.
-        invitations = 0
-        for child, parent in result.parent.items():
-            invitations += 1  # the successful invitation parent -> child
-        # Unsuccessful invitations: parent sends to a neighbour that is
-        # already in the tree or whose test returned 0 via another parent; we
-        # charge one message per (tree node, neighbour in U_r) pair beyond the
-        # tree edges, which upper-bounds duplicate invitations.
-        rows = self.csr.rows
-        in_tree = bytearray(self.csr.num_nodes)
-        for node in result.nodes:
-            in_tree[node] = 1
-        parent_of = result.parent.get
-        duplicate_invitations = 0
-        for node in result.nodes:
-            for nb in rows[node]:
-                if in_tree[nb] and parent_of(nb) != node and parent_of(node) != nb:
-                    duplicate_invitations += 1
-        duplicate_invitations //= 2
-
-        acceptances = len(result.parent)
-        convergecast = len(result.parent)  # one message per tree edge
-        messages = invitations + duplicate_invitations + acceptances + convergecast
-
-        # Two rounds per growth phase plus the convergecast (depth rounds).
-        rounds = 2 * max(result.rounds, 1) + depth
-
-        boundary = self.csr.boundary(
-            result.member_mask if result.member_mask is not None else result.nodes
-        )
-
+        """Run the protocol from the known-healthy ``root`` and summarise it."""
+        outcome = self.engine.run_set_builder(syndrome, root)
         return DistributedRunStats(
-            rounds=rounds,
-            messages=messages,
-            tree_size=len(result.nodes),
-            tree_depth=depth,
-            faults_found=len(boundary),
+            rounds=outcome.rounds,
+            messages=outcome.messages,
+            tree_size=outcome.tree_size,
+            tree_depth=outcome.tree_depth,
+            faults_found=outcome.faults_found,
         )
+
+
+def derived_run_stats(
+    network: InterconnectionNetwork,
+    syndrome: Syndrome,
+    root: int,
+    *,
+    diagnosability: int | None = None,
+) -> DistributedRunStats:
+    """The legacy *analytical* model: costs derived from a sequential run.
+
+    This is the original (pre-engine) accounting, preserved verbatim as the
+    reference model: run the sequential ``Set_Builder``, then charge
+
+    * two rounds per growth phase plus ``depth`` convergecast rounds,
+    * one invitation per edge inside the grown set (tree edges carry the
+      successful invitation; every other internal edge is charged one
+      duplicate invitation), and
+    * one acceptance plus one convergecast message per tree edge.
+
+    The engine reproduces these numbers exactly on its default channel; the
+    property tests assert it, and :mod:`benchmarks.bench_backend` times the
+    two against each other.
+    """
+    csr = compile_network(network)
+    delta = network.diagnosability() if diagnosability is None else int(diagnosability)
+    result = set_builder(network, syndrome, root, diagnosability=delta)
+
+    depth = 0
+    for node in result.nodes:
+        depth = max(depth, result.depth_of(node))
+
+    invitations = len(result.parent)
+    rows = csr.rows
+    in_tree = bytearray(csr.num_nodes)
+    for node in result.nodes:
+        in_tree[node] = 1
+    parent_of = result.parent.get
+    duplicate_invitations = 0
+    for node in result.nodes:
+        for nb in rows[node]:
+            if in_tree[nb] and parent_of(nb) != node and parent_of(node) != nb:
+                duplicate_invitations += 1
+    duplicate_invitations //= 2
+
+    acceptances = len(result.parent)
+    convergecast = len(result.parent)
+    messages = invitations + duplicate_invitations + acceptances + convergecast
+    rounds = 2 * max(result.rounds, 1) + depth
+
+    boundary = csr.boundary(
+        result.member_mask if result.member_mask is not None else result.nodes
+    )
+    return DistributedRunStats(
+        rounds=rounds,
+        messages=messages,
+        tree_size=len(result.nodes),
+        tree_depth=depth,
+        faults_found=len(boundary),
+    )
 
 
 def extended_star_gossip_cost(
-    network: InterconnectionNetwork, *, radius: int = 3
+    network: InterconnectionNetwork, *, radius: int = 3, engine: ProtocolEngine | None = None
 ) -> tuple[int, int]:
-    """Rounds and messages for every node to learn its radius-``r`` neighbourhood's tests.
+    """Rounds and messages for every node to learn its radius-``r`` tests.
 
-    This is the communication lower bound for running Chiang & Tan's per-node
-    rule distributively: each node's extended star spans a fixed radius, so
-    every node's local test results must be flooded ``radius`` hops.  With
-    synchronous one-message-per-link-per-round communication this takes
-    ``radius`` rounds and ``radius · |E| · 2`` messages (every edge carries a
-    payload in both directions in every round of the flood).
+    This is the communication cost of assembling the data Chiang & Tan's
+    per-node rule needs: each node's extended star spans a fixed radius, so
+    every node's local test results must be flooded ``radius`` hops.  With no
+    ``engine`` the reliable synchronous closed form is returned (``radius``
+    rounds, ``radius · 2|E|`` messages).  Passing a
+    :class:`~repro.distributed.engine.ProtocolEngine` runs the flood on that
+    engine's channel model instead — same latency, loss and duplication as
+    the set-builder protocol, making the E9 comparison apples-to-apples —
+    and returns the measured ``(rounds, messages)``.
     """
+    if engine is not None:
+        outcome = engine.run_gossip(radius)
+        return outcome.rounds, outcome.messages
     edges = network.num_edges()
     return radius, 2 * radius * edges

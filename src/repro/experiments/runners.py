@@ -33,15 +33,16 @@ from ..core.faults import random_faults
 from ..core.partitions import class_certifies_when_fault_free, minimal_certifying_level
 from ..core.set_builder import set_builder
 from ..diagnosability import chang_condition, exact_diagnosability, min_degree_upper_bound
-from ..distributed import DistributedSetBuilder, extended_star_gossip_cost
 from ..networks.registry import FAMILIES, cached_network, compiled_network
 from ..workloads.sweeps import (
     CUBE_VARIANT_INSTANCES,
+    DISTRIBUTED_LOSS_RATES,
+    DISTRIBUTED_ROOT_COUNTS,
     KARY_INSTANCES,
     PERMUTATION_INSTANCES,
 )
 from .reporting import ExperimentReport, _md_cell  # noqa: F401  (re-export shim)
-from .trials import TrialPlan, TrialSpec
+from .trials import DistributedTrialPlan, TrialPlan, TrialSpec
 
 __all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]
 
@@ -301,40 +302,56 @@ def run_e8(*, dimensions: tuple[int, ...] = (7, 8, 9, 10, 11, 12)) -> Experiment
 
 # --------------------------------------------------------------------------- E9
 def run_e9(*, dimensions: tuple[int, ...] = (8, 9, 10), seed: int = 31,
-           parallel: bool = False) -> ExperimentReport:
-    """E9 (further research): distributed Set_Builder vs extended-star gossip."""
+           parallel: bool = False,
+           loss_rates: tuple[float, ...] = DISTRIBUTED_LOSS_RATES,
+           root_counts: tuple[int, ...] = DISTRIBUTED_ROOT_COUNTS,
+           latency: str = "fixed:1") -> ExperimentReport:
+    """E9 (further research): the protocol engine vs extended-star gossip.
+
+    Every row is one :class:`~repro.experiments.trials.DistributedTrialSpec`
+    run on the event-driven engine — real invitations, acceptances and
+    convergecast reports — with the extended-star dissemination flooded over
+    the *same* channel model as the comparator.  The sweep covers the
+    engine's axes: loss rate × concurrent-root count (plus the latency
+    distribution knob, fixed per call).
+
+    Claims checked: on the reliable channel the protocol finds every
+    injected fault with fewer messages than the gossip comparator needs;
+    under message loss every run still terminates (the ARQ sublayer) and no
+    fault-free node is ever accused.
+    """
     start = time.perf_counter()
-    plan = TrialPlan(
-        TrialSpec(label=f"Q_{n}", family="hypercube", params=(("dimension", n),),
-                  placement="random", fault_count=n, seed=seed)
-        for n in dimensions
+    plan = DistributedTrialPlan.from_factors(
+        [(f"Q_{n}", "hypercube", {"dimension": n}) for n in dimensions],
+        seeds=(seed,),
+        loss_rates=loss_rates,
+        root_counts=root_counts,
+        latencies=(latency,),
     )
-    root_results = plan.run(parallel=parallel)
+    results = plan.run(parallel=parallel)
     rows = []
     claims = True
-    for n, res in zip(dimensions, root_results):
-        cube, csr = compiled_network("hypercube", dimension=n)
-        faults = random_faults(cube, n, seed=seed)
-        # The same syndrome the root search consulted (ArraySyndrome
-        # generation is deterministic in (faults, behaviour, seed)).
-        if res.healthy_root in faults:
-            raise RuntimeError(
-                "E9 seed policy drifted: the trial plan's healthy root is faulty "
-                "under the regenerated fault set"
-            )
-        syndrome = ArraySyndrome.from_faults(csr, faults, seed=seed)
-        stats = DistributedSetBuilder(cube).run(syndrome, res.healthy_root)
-        gossip_rounds, gossip_messages = extended_star_gossip_cost(cube, radius=3)
-        claims &= stats.messages < gossip_messages and stats.faults_found == len(faults)
-        rows.append((f"Q_{n}", stats.rounds, stats.messages, gossip_rounds, gossip_messages,
-                     f"{gossip_messages / stats.messages:.1f}x"))
+    for res in results:
+        lossless = res.spec.loss_rate == 0.0 and res.spec.duplicate_rate == 0.0
+        if lossless:
+            claims &= res.exact and res.messages < res.gossip_messages
+        else:
+            claims &= res.false_positives == 0
+        ratio = res.gossip_messages / res.messages if res.messages else float("inf")
+        rows.append((res.spec.label, res.spec.loss_rate, res.spec.root_count,
+                     res.rounds, res.messages, res.retries, res.faults_found,
+                     res.false_positives, res.gossip_messages, f"{ratio:.1f}x"))
     return ExperimentReport(
         "E9",
-        "distributed Set_Builder vs extended-star data dissemination",
-        ["network", "SB rounds", "SB messages", "gossip rounds", "gossip messages",
-         "message ratio"],
+        "distributed protocol engine vs extended-star data dissemination",
+        ["network", "loss", "roots", "rounds", "messages", "retries",
+         "faults found", "false pos", "gossip messages", "message ratio"],
         rows,
         claims,
+        notes=("Both protocols run on the same event-driven engine and channel model "
+               f"(latency {latency}); lossless rows must beat the gossip message "
+               "count and diagnose exactly, lossy rows must terminate without "
+               "accusing any fault-free node."),
         elapsed_seconds=time.perf_counter() - start,
     )
 

@@ -20,6 +20,13 @@ and executes it against **shared compiled topologies**:
 
 Results are plain dataclasses of primitives, so they cross process boundaries
 and feed the report tables of :mod:`repro.experiments.runners` directly.
+
+The distributed experiment (E9) has its own factor table,
+:class:`DistributedTrialPlan`, whose rows additionally sweep the protocol
+engine's channel axes — concurrent-root count, loss rate, duplicate rate and
+per-link latency distribution — and carry the extended-star gossip cost
+measured on the *same* channel, so every row is a self-contained
+protocol-vs-comparator data point.
 """
 
 from __future__ import annotations
@@ -33,9 +40,19 @@ from ..backend.array_syndrome import ArraySyndrome
 from ..baselines import ExtendedStarDiagnoser, YangCycleDiagnoser
 from ..core.diagnosis import GeneralDiagnoser
 from ..core.faults import clustered_faults, random_faults, spread_faults
+from ..distributed import ChannelConfig, ProtocolEngine, spread_roots
 from ..networks.registry import compiled_network
 
-__all__ = ["TrialSpec", "TrialResult", "TrialPlan", "PLACEMENTS", "ALGORITHMS"]
+__all__ = [
+    "TrialSpec",
+    "TrialResult",
+    "TrialPlan",
+    "DistributedTrialSpec",
+    "DistributedTrialResult",
+    "DistributedTrialPlan",
+    "PLACEMENTS",
+    "ALGORITHMS",
+]
 
 #: Fault-placement factor levels (see :mod:`repro.core.faults`).
 PLACEMENTS = {
@@ -150,6 +167,216 @@ def _run_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
             )
         )
     return results
+
+
+@dataclass(frozen=True)
+class DistributedTrialSpec:
+    """One row of a distributed-protocol trial table (a single engine run).
+
+    Extends the diagnosis factor space with the engine's sweep axes: the
+    number of concurrent known-healthy roots, the per-transmission loss and
+    duplicate rates, and the per-link latency distribution.  The gossip
+    comparator (extended-star data dissemination) is run on the same channel
+    so each row carries its own apples-to-apples Chiang & Tan cost.
+    """
+
+    label: str
+    family: str
+    params: tuple[tuple[str, int], ...]
+    placement: str = "random"
+    fault_count: int | None = None  # None → the network's diagnosability δ
+    seed: int = 0
+    behavior: str = "random"
+    root_count: int = 1
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    latency: str = "fixed:1"
+    gossip_radius: int = 3
+
+    @property
+    def network_kwargs(self) -> dict[str, int]:
+        return dict(self.params)
+
+    @property
+    def scenario(self) -> str:
+        return (f"{self.placement} loss={self.loss_rate} roots={self.root_count} "
+                f"latency={self.latency}")
+
+    def channel_config(self) -> ChannelConfig:
+        return ChannelConfig(
+            latency=self.latency,
+            loss_rate=self.loss_rate,
+            duplicate_rate=self.duplicate_rate,
+            seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class DistributedTrialResult:
+    """Outcome of one engine trial (primitives only: crosses process boundaries)."""
+
+    spec: DistributedTrialSpec
+    num_nodes: int
+    num_faults: int
+    rounds: int
+    messages: int
+    tree_size: int
+    tree_depth: int
+    faults_found: int
+    false_positives: int
+    drops: int
+    retries: int
+    merges: int
+    contributors: int
+    gossip_rounds: int
+    gossip_messages: int
+    elapsed_seconds: float
+
+    @property
+    def exact(self) -> bool:
+        """Every injected fault diagnosed and nothing healthy accused."""
+        return self.false_positives == 0 and self.faults_found == self.num_faults
+
+
+def _run_distributed_group(specs: Sequence[DistributedTrialSpec]) -> list[DistributedTrialResult]:
+    """Execute all engine trials of one ``(family, params)`` group.
+
+    The gossip comparator depends only on the channel config and radius (not
+    on faults, placement or roots), so its flood — the most expensive
+    simulation of a lossy row — is memoized per distinct channel within the
+    group.
+    """
+    first = specs[0]
+    network, csr = compiled_network(first.family, **first.network_kwargs)
+    gossip_memo: dict[tuple, tuple[int, int]] = {}
+    results: list[DistributedTrialResult] = []
+    for spec in specs:
+        if spec.fault_count is None:
+            count = network.diagnosability()
+        else:
+            count = spec.fault_count
+        faults = PLACEMENTS[spec.placement](network, count, seed=spec.seed)
+        syndrome = ArraySyndrome.from_faults(
+            csr, faults, behavior=spec.behavior, seed=spec.seed
+        )
+        healthy = [v for v in range(network.num_nodes) if v not in faults]
+        roots = spread_roots(healthy, spec.root_count)
+        config = spec.channel_config()
+        engine = ProtocolEngine(csr, config=config)
+        start = time.perf_counter()
+        outcome = engine.run_set_builder(syndrome, roots)
+        elapsed = time.perf_counter() - start
+        gossip_key = (config, spec.gossip_radius)
+        if gossip_key not in gossip_memo:
+            flood = engine.run_gossip(spec.gossip_radius)
+            gossip_memo[gossip_key] = (flood.rounds, flood.messages)
+        gossip_rounds, gossip_messages = gossip_memo[gossip_key]
+        results.append(
+            DistributedTrialResult(
+                spec=spec,
+                num_nodes=network.num_nodes,
+                num_faults=len(faults),
+                rounds=outcome.rounds,
+                messages=outcome.messages,
+                tree_size=outcome.tree_size,
+                tree_depth=outcome.tree_depth,
+                faults_found=outcome.faults_found,
+                false_positives=len(outcome.faulty - faults),
+                drops=outcome.drops,
+                retries=outcome.retries,
+                merges=outcome.merges,
+                contributors=outcome.contributors,
+                gossip_rounds=gossip_rounds,
+                gossip_messages=gossip_messages,
+                elapsed_seconds=elapsed,
+            )
+        )
+    return results
+
+
+class DistributedTrialPlan:
+    """A factor-product table of engine runs over shared compiled topologies.
+
+    The distributed analogue of :class:`TrialPlan`: rows are
+    :class:`DistributedTrialSpec` and execution groups by topology so every
+    trial on the same ``(family, params)`` shares one compiled CSR; groups
+    can fan out over a process pool exactly like diagnosis trials.
+    """
+
+    def __init__(self, trials: Iterable[DistributedTrialSpec]) -> None:
+        self.trials: list[DistributedTrialSpec] = list(trials)
+
+    @classmethod
+    def from_factors(
+        cls,
+        instances: Iterable[tuple[str, str, dict]],
+        *,
+        placements: Sequence[str] = ("random",),
+        fault_count: int | None = None,
+        seeds: Sequence[int] = (0,),
+        behaviors: Sequence[str] = ("random",),
+        root_counts: Sequence[int] = (1,),
+        loss_rates: Sequence[float] = (0.0,),
+        duplicate_rates: Sequence[float] = (0.0,),
+        latencies: Sequence[str] = ("fixed:1",),
+        gossip_radius: int = 3,
+    ) -> "DistributedTrialPlan":
+        """Build the factor-product table (innermost factor varies fastest)."""
+        trials = [
+            DistributedTrialSpec(
+                label=label,
+                family=family,
+                params=tuple(sorted(params.items())),
+                placement=placement,
+                fault_count=fault_count,
+                seed=seed,
+                behavior=behavior,
+                root_count=root_count,
+                loss_rate=loss_rate,
+                duplicate_rate=duplicate_rate,
+                latency=latency,
+                gossip_radius=gossip_radius,
+            )
+            for (label, family, params), placement, seed, behavior, latency,
+                loss_rate, duplicate_rate, root_count
+            in product(list(instances), placements, seeds, behaviors, latencies,
+                       loss_rates, duplicate_rates, root_counts)
+        ]
+        return cls(trials)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def groups(self) -> list[list[tuple[int, DistributedTrialSpec]]]:
+        grouped: dict[tuple, list[tuple[int, DistributedTrialSpec]]] = {}
+        for position, spec in enumerate(self.trials):
+            grouped.setdefault((spec.family, spec.params), []).append((position, spec))
+        return list(grouped.values())
+
+    def run(
+        self, *, parallel: bool = False, max_workers: int | None = None
+    ) -> list[DistributedTrialResult]:
+        """Execute every trial; results come back in table order."""
+        groups = self.groups()
+        results: list[DistributedTrialResult | None] = [None] * len(self.trials)
+        if parallel and len(groups) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    (group, pool.submit(_run_distributed_group, [s for _, s in group]))
+                    for group in groups
+                ]
+                for group, future in futures:
+                    for (position, _), result in zip(group, future.result()):
+                        results[position] = result
+        else:
+            for group in groups:
+                for (position, _), result in zip(
+                    group, _run_distributed_group([s for _, s in group])
+                ):
+                    results[position] = result
+        return results  # type: ignore[return-value]
 
 
 class TrialPlan:

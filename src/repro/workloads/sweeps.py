@@ -28,10 +28,21 @@ __all__ = [
     "cube_variant_sweep",
     "kary_sweep",
     "permutation_sweep",
+    "distributed_sweep",
     "CUBE_VARIANT_INSTANCES",
     "KARY_INSTANCES",
     "PERMUTATION_INSTANCES",
+    "DISTRIBUTED_LOSS_RATES",
+    "DISTRIBUTED_ROOT_COUNTS",
+    "DISTRIBUTED_LATENCIES",
 ]
+
+#: Experiment E9 engine axes: per-transmission loss rates, concurrent-root
+#: counts and per-link latency distributions swept by the distributed
+#: protocol engine (single source of truth for the E9 runner and the CLI).
+DISTRIBUTED_LOSS_RATES: tuple[float, ...] = (0.0, 0.1)
+DISTRIBUTED_ROOT_COUNTS: tuple[int, ...] = (1, 2)
+DISTRIBUTED_LATENCIES: tuple[str, ...] = ("fixed:1", "uniform:1:3")
 
 
 #: Experiment E2 instances: one benchmark-sized instance per hypercube variant
@@ -121,3 +132,31 @@ def kary_sweep(*, seed: int = 0) -> list[SweepPoint]:
 def permutation_sweep(*, seed: int = 0) -> list[SweepPoint]:
     """Experiment E4: star, (n,k)-star, pancake and arrangement graphs (Theorems 5–7)."""
     return _points(PERMUTATION_INSTANCES, seed)
+
+
+def distributed_sweep(
+    dimensions: tuple[int, ...] = (8, 9, 10),
+    *,
+    seed: int = 0,
+    loss_rates: tuple[float, ...] = DISTRIBUTED_LOSS_RATES,
+    root_counts: tuple[int, ...] = DISTRIBUTED_ROOT_COUNTS,
+    latencies: tuple[str, ...] = ("fixed:1",),
+):
+    """Experiment E9: the engine's factor table over hypercubes.
+
+    Returns a :class:`~repro.experiments.trials.DistributedTrialPlan` whose
+    rows sweep the channel axes (loss rate × root count × latency
+    distribution) on top of the usual topology factor.  The import is
+    deferred because :mod:`repro.experiments` itself consumes the instance
+    tables of this module.
+    """
+    from ..experiments.trials import DistributedTrialPlan
+
+    instances = [(f"Q_{n}", "hypercube", {"dimension": n}) for n in dimensions]
+    return DistributedTrialPlan.from_factors(
+        instances,
+        seeds=(seed,),
+        loss_rates=loss_rates,
+        root_counts=root_counts,
+        latencies=latencies,
+    )

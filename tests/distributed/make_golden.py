@@ -1,0 +1,32 @@
+"""Regenerate the golden engine traces under ``tests/distributed/golden/``.
+
+Run only when a deliberate protocol change invalidates the checked-in logs:
+
+    PYTHONPATH=src python tests/distributed/make_golden.py
+
+The cases must stay in lockstep with ``TestGoldenTraces.CASES`` in
+``test_engine.py`` (this script imports them from there).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from distributed.test_engine import GOLDEN_DIR, TestGoldenTraces  # noqa: E402
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    harness = TestGoldenTraces()
+    for name in sorted(TestGoldenTraces.CASES):
+        outcome = harness._run(name)
+        path = GOLDEN_DIR / name
+        path.write_text(outcome.trace.to_text())
+        print(f"wrote {path} ({len(outcome.trace)} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""Tests for the message/channel/trace layer of the protocol engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.array_syndrome import ArraySyndrome
+from repro.backend.csr import compile_network
+from repro.core.faults import random_faults
+from repro.distributed import ChannelConfig, ProtocolEngine, replay_stats
+from repro.distributed.events import (
+    EventLog,
+    LatencyModel,
+    LossModel,
+    Message,
+)
+from repro.networks import Hypercube
+
+
+class TestChannelConfig:
+    def test_defaults_are_reliable(self):
+        cfg = ChannelConfig()
+        assert cfg.reliable
+        assert cfg.latency == "fixed:1"
+
+    def test_any_fault_model_is_unreliable(self):
+        assert not ChannelConfig(loss_rate=0.1).reliable
+        assert not ChannelConfig(duplicate_rate=0.1).reliable
+
+    @pytest.mark.parametrize("kwargs", [
+        {"loss_rate": 1.0},
+        {"loss_rate": -0.1},
+        {"duplicate_rate": 1.5},
+        {"timeout": 0},
+        {"max_retries": -1},
+        {"latency": "fixed:0"},
+        {"latency": "uniform:3:1"},
+        {"latency": "gaussian:1:2"},
+        {"latency": "uniform:a:b"},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ChannelConfig(**kwargs)
+
+    def test_describe_mentions_every_knob(self):
+        text = ChannelConfig(loss_rate=0.25, seed=7).describe()
+        assert "loss=0.25" in text and "seed=7" in text
+
+
+class TestLatencyModel:
+    def test_fixed_spec(self):
+        model = LatencyModel.from_spec("fixed:2")
+        links = model.sample_links([(0, 1), (1, 2)], seed=0)
+        assert links == {(0, 1): 2, (1, 2): 2}
+
+    def test_uniform_spec_bounds_and_determinism(self):
+        edges = [(u, u + 1) for u in range(100)]
+        a = LatencyModel.from_spec("uniform:1:3").sample_links(edges, seed=5)
+        b = LatencyModel.from_spec("uniform:1:3").sample_links(edges, seed=5)
+        assert a == b
+        assert all(1 <= lat <= 3 for lat in a.values())
+        assert len(set(a.values())) > 1  # actually a distribution
+
+    def test_different_seeds_differ(self):
+        edges = [(u, u + 1) for u in range(100)]
+        a = LatencyModel.from_spec("uniform:1:5").sample_links(edges, seed=1)
+        b = LatencyModel.from_spec("uniform:1:5").sample_links(edges, seed=2)
+        assert a != b
+
+
+class TestLossModel:
+    def test_zero_rates_never_fire_nor_consume_rng(self):
+        model = LossModel(ChannelConfig())
+        state = model._rng.getstate()
+        assert not any(model.dropped() for _ in range(50))
+        assert not any(model.duplicated() for _ in range(50))
+        assert model._rng.getstate() == state
+
+    def test_seeded_draw_sequence_is_deterministic(self):
+        cfg = ChannelConfig(loss_rate=0.3, seed=11)
+        m1, m2 = LossModel(cfg), LossModel(cfg)
+        draws1 = [m1.dropped() for _ in range(200)]
+        draws2 = [m2.dropped() for _ in range(200)]
+        assert draws1 == draws2
+        assert any(draws1) and not all(draws1)
+
+
+class TestEventLog:
+    def test_lines_are_canonical(self):
+        log = EventLog()
+        msg = Message("INVITE", 3, 5, 0, 17)
+        log.send(2, msg)
+        log.deliver(3, msg)
+        log.join(3, 5, 3, 0)
+        log.stats(rounds=5, messages=1, tree_size=2, tree_depth=1,
+                  faults_found=0, roots=1, contributors=1, drops=0, retries=0)
+        text = log.to_text()
+        assert "R0002 SEND INVITE 3->5 tree=0 seq=17" in text
+        assert "R0003 DELIVER INVITE 3->5 tree=0 seq=17" in text
+        assert "R0003 JOIN 5 parent=3 tree=0" in text
+        assert text.rstrip().splitlines()[-1].startswith("STATS ")
+
+    def test_retry_tag(self):
+        log = EventLog()
+        log.send(4, Message("INVITE", 0, 1, 0, 2), retry=2)
+        assert "retry=2" in log.lines[0]
+
+
+class TestReplayStats:
+    def _trace(self, **config_kwargs) -> tuple:
+        cube = Hypercube(4)
+        csr = compile_network(cube)
+        faults = random_faults(cube, 3, seed=1)
+        syndrome = ArraySyndrome.from_faults(csr, faults, seed=1)
+        root = next(v for v in range(cube.num_nodes) if v not in faults)
+        engine = ProtocolEngine(csr, config=ChannelConfig(**config_kwargs))
+        outcome = engine.run_set_builder(syndrome, root, trace=True)
+        return outcome, outcome.trace.to_text()
+
+    def test_replay_matches_engine_stats(self):
+        outcome, text = self._trace()
+        replayed = replay_stats(text)
+        assert replayed.rounds == outcome.rounds
+        assert replayed.messages == outcome.messages
+        assert replayed.tree_size == outcome.tree_size
+        assert replayed.tree_depth == outcome.tree_depth
+        assert replayed.faults_found == outcome.faults_found
+        assert replayed.joins == outcome.tree_size - 1  # single root
+
+    def test_replay_matches_lossy_engine_stats(self):
+        outcome, text = self._trace(loss_rate=0.2, seed=5)
+        replayed = replay_stats(text)
+        assert replayed.messages == outcome.messages
+        assert replayed.drops == outcome.drops
+        assert replayed.drops > 0
+
+    def test_missing_stats_line_rejected(self):
+        with pytest.raises(ValueError, match="no STATS"):
+            replay_stats("R0001 SEND INVITE 0->1 tree=0 seq=1\n")
+
+    def test_tampered_trace_rejected(self):
+        _, text = self._trace()
+        lines = text.splitlines()
+        sans_send = [ln for ln in lines if not ln.startswith("R0001 SEND")]
+        assert len(sans_send) < len(lines)
+        with pytest.raises(ValueError, match="inconsistent"):
+            replay_stats("\n".join(sans_send) + "\n")

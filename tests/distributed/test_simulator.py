@@ -1,4 +1,10 @@
-"""Tests for the distributed self-diagnosis simulation (experiment E9 substrate)."""
+"""Tests for the legacy simulator API (now a shim over the protocol engine).
+
+The behavioural contract of :class:`DistributedSetBuilder` is unchanged —
+these tests predate the engine and keep passing through the shim — plus a few
+checks that the shim and the preserved analytical model
+(:func:`derived_run_stats`) stay in agreement.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +12,11 @@ import pytest
 
 from repro.core.faults import random_faults
 from repro.core.syndrome import generate_syndrome, syndrome_table_size
-from repro.distributed import DistributedSetBuilder, extended_star_gossip_cost
+from repro.distributed import (
+    DistributedSetBuilder,
+    derived_run_stats,
+    extended_star_gossip_cost,
+)
 from repro.networks import Hypercube, KAryNCube
 
 
@@ -56,6 +66,24 @@ class TestDistributedSetBuilder:
         syndrome = generate_syndrome(cube, frozenset())
         stats = DistributedSetBuilder(cube).run(syndrome, root=0)
         assert len(stats.as_row()) == 5
+
+
+class TestShimAgainstAnalyticalModel:
+    def test_shim_reproduces_derived_stats(self):
+        """The engine-backed shim and the legacy derivation agree exactly."""
+        cube = Hypercube(7)
+        faults = random_faults(cube, 7, seed=5)
+        syndrome = generate_syndrome(cube, faults, seed=5, backend="array")
+        root = next(v for v in range(cube.num_nodes) if v not in faults)
+        assert DistributedSetBuilder(cube).run(syndrome, root) == \
+            derived_run_stats(cube, syndrome, root)
+
+    def test_module_advertises_the_deprecation(self):
+        from repro.distributed import simulator
+
+        assert "deprecated" in simulator.__doc__.lower()
+        assert "derived_run_stats" in simulator.__all__
+        assert "engine" in simulator.__doc__
 
 
 class TestGossipCost:

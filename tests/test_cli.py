@@ -40,6 +40,34 @@ class TestCommands:
         code = main(["diagnose", "--family", "pancake", "--faults", "2"])
         assert code == 0
 
+    def test_distributed_baseline(self, capsys):
+        code = main(["distributed", "--family", "hypercube", "--param", "dimension=6",
+                     "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "false positives  : []" in out
+        assert "gossip" in out
+
+    def test_distributed_lossy_multiroot_with_trace(self, capsys, tmp_path):
+        trace = tmp_path / "run.log"
+        code = main(["distributed", "--family", "hypercube", "--param", "dimension=6",
+                     "--loss-rate", "0.1", "--roots", "2", "--seed", "4",
+                     "--latency", "uniform:1:2", "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "drops" in out
+        text = trace.read_text()
+        assert text.splitlines()[-1].startswith("STATS ")
+
+        from repro.distributed import replay_stats
+
+        assert replay_stats(text).messages > 0
+
+    def test_distributed_rejects_zero_roots(self):
+        with pytest.raises(SystemExit, match="at least one root"):
+            main(["distributed", "--family", "hypercube", "--param", "dimension=5",
+                  "--roots", "0"])
+
     def test_properties_command(self, capsys):
         code = main(["properties", "--family", "hypercube", "--param", "dimension=6",
                      "--exact-connectivity"])
