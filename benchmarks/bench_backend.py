@@ -6,10 +6,17 @@ Two modes:
   compiled and uncompiled paths are benchmarked on a 12-cube with
   ``pytest-benchmark`` statistics;
 * as a script (``PYTHONPATH=src python benchmarks/bench_backend.py``) it
-  measures the 14-cube head-to-head the tentpole targets — legacy
-  ``TableSyndrome`` + object traversal vs ``ArraySyndrome`` + compiled CSR —
-  and writes the result to ``BENCH_e1.json`` at the repository root, seeding
-  the performance trajectory for subsequent PRs.
+  measures the tracked numbers of ``BENCH_e1.json`` at the repository root:
+  the 12/14-cube legacy-vs-compiled head-to-head, the compiled-only frontier
+  (Q_16 and Q_18 — the legacy dict-table path is too slow to field there,
+  which is itself the datum), the k-ary and star family rows, the distributed
+  engine overhead, and the shared-memory sharded-sweep comparison (serial vs
+  worker pool vs the old per-worker-recompilation fan-out).
+
+The sharded sweep is measured *first* and its recompilation baseline runs
+before the coordinator ever compiles the topology: workers are forked, so a
+parent-side compile would be inherited and silently hide the recompilation
+cost being measured.
 """
 
 from __future__ import annotations
@@ -62,6 +69,20 @@ def test_array_syndrome_generation(benchmark):
 
     syndrome = benchmark(ArraySyndrome.from_faults, csr, faults, seed=12)
     assert len(syndrome) == csr.num_pairs
+
+
+def test_sharded_diagnosis(benchmark):
+    from repro.parallel import ShardedSetBuilder
+
+    cube, faults, syndrome = _instance("array")
+    sharder = ShardedSetBuilder(cube, num_shards=4)
+    diagnoser = GeneralDiagnoser(cube, sharder=sharder)
+
+    result = benchmark(diagnoser.diagnose, syndrome)
+
+    assert result.faulty == faults
+    benchmark.extra_info["experiment"] = "E1-sharded"
+    benchmark.extra_info["path"] = "sharded-4"
 
 
 def test_distributed_engine_run(benchmark):
@@ -125,6 +146,182 @@ def measure_dimension(n: int, *, seed: int = 1, repetitions: int = 5) -> dict:
     }
 
 
+def measure_compiled_frontier(n: int, *, seed: int = 1, repetitions: int = 3) -> dict:
+    """Compiled-only measurement for dimensions past the legacy path's reach.
+
+    At Q_16+ the pre-backend baseline (dict-table syndrome + object
+    traversal) takes minutes just to *generate* its syndrome, so the frontier
+    rows track the compiled pipeline alone: one-time compile cost, vectorised
+    syndrome generation, and the diagnose hot path.
+    """
+    from repro.backend import ArraySyndrome
+    from repro.networks.registry import create_network
+
+    build_start = time.perf_counter()
+    cube = create_network("hypercube", dimension=n)
+    from repro.backend.csr import CSRAdjacency
+
+    csr = CSRAdjacency.from_network(cube)
+    cube._csr_adjacency = csr
+    compile_s = time.perf_counter() - build_start
+
+    faults = random_faults(cube, n, seed=seed)
+    generation_s = _best_of(
+        lambda: ArraySyndrome.from_faults(csr, faults, seed=seed), repetitions
+    )
+    syndrome = ArraySyndrome.from_faults(csr, faults, seed=seed)
+    diagnoser = GeneralDiagnoser(cube)
+    result = diagnoser.diagnose(syndrome)
+    assert result.faulty == faults
+    diagnose_s = _best_of(lambda: diagnoser.diagnose(syndrome), repetitions)
+    return {
+        "dimension": n,
+        "num_nodes": cube.num_nodes,
+        "num_faults": len(faults),
+        "lookups": result.lookups,
+        "compile_ms": round(compile_s * 1e3, 3),
+        "array_syndrome_generation_ms": round(generation_s * 1e3, 3),
+        "compiled_diagnose_ms": round(diagnose_s * 1e3, 3),
+    }
+
+
+#: Family frontier rows: the k-ary and star-family instances tracked
+#: alongside the hypercube numbers (labels follow the experiment tables).
+FAMILY_FRONTIER: list[tuple[str, str, dict]] = [
+    ("Q^8_3", "kary_ncube", {"n": 3, "k": 8}),
+    ("Q^16_2", "kary_ncube", {"n": 2, "k": 16}),
+    ("S_7", "star", {"n": 7}),
+    ("S_7,4", "nk_star", {"n": 7, "k": 4}),
+]
+
+
+def measure_families(*, seed: int = 1, repetitions: int = 3) -> list[dict]:
+    """Compiled diagnosis numbers for the k-ary and star family frontier."""
+    from repro.backend import ArraySyndrome
+
+    rows = []
+    for label, family, params in FAMILY_FRONTIER:
+        network, csr = compiled_network(family, **params)
+        delta = network.diagnosability()
+        faults = random_faults(network, delta, seed=seed)
+        generation_s = _best_of(
+            lambda: ArraySyndrome.from_faults(csr, faults, seed=seed), repetitions
+        )
+        syndrome = ArraySyndrome.from_faults(csr, faults, seed=seed)
+        diagnoser = GeneralDiagnoser(network)
+        result = diagnoser.diagnose(syndrome)
+        assert result.faulty == faults
+        diagnose_s = _best_of(lambda: diagnoser.diagnose(syndrome), repetitions)
+        rows.append({
+            "instance": label,
+            "family": family,
+            "num_nodes": network.num_nodes,
+            "num_faults": len(faults),
+            "lookups": result.lookups,
+            "array_syndrome_generation_ms": round(generation_s * 1e3, 3),
+            "compiled_diagnose_ms": round(diagnose_s * 1e3, 3),
+        })
+    return rows
+
+
+def measure_sharded_sweep(n: int, *, workers: int = 4, trials: int = 6,
+                          base_seed: int = 16) -> dict:
+    """A Q_n sweep: serial vs shared-memory pool vs per-worker recompilation.
+
+    Three phases over the identical trial table (results are bit-identical —
+    asserted — because every trial self-seeds):
+
+    1. ``respawn``: chunked fan-out with ``share_topology=False``, the old
+       cost model — every worker walks and compiles the topology itself.
+       Measured first, before this process ever compiles Q_n, because forked
+       workers inherit the parent's caches and would otherwise skip the very
+       recompilation being measured.
+    2. ``serial``: the plain in-process run, measured after one unmeasured
+       warm-up pass so one-time costs (compile, pair layout, row
+       materialisation) do not bias the serial number upward — forked pool
+       workers would inherit that warm state anyway.
+    3. ``pool``: chunked fan-out over the shared-memory worker pool — one
+       coordinator-side compile, zero worker-side compiles (asserted from the
+       per-chunk worker diagnostics).
+
+    The recorded ``speedup_vs_serial`` is honest wall-clock on the current
+    machine — ``cpu_count`` is recorded next to it because process-level
+    parallelism cannot beat a warm serial run on a single core;
+    ``speedup_vs_respawn`` isolates what the persistent shared-memory pool
+    buys over the old fan-out at equal worker count, which is visible on any
+    core count.
+    """
+    import dataclasses
+    import os
+
+    from repro.experiments.trials import TrialPlan, TrialSpec
+    from repro.parallel import WorkerPool
+
+    from repro.backend import csr as csr_backend
+
+    plan = TrialPlan(
+        TrialSpec(label=f"Q_{n}", family="hypercube", params=(("dimension", n),),
+                  placement="random", fault_count=n, seed=base_seed + i)
+        for i in range(trials)
+    )
+
+    def norm(results):
+        return [dataclasses.replace(r, elapsed_seconds=0.0) for r in results]
+
+    assert csr_backend.compile_count() == 0, (
+        "the sharded sweep must run before anything compiles in this process"
+    )
+    with WorkerPool(max_workers=workers) as pool:
+        respawn_start = time.perf_counter()
+        respawn_results = plan.run(pool=pool, share_topology=False)
+        respawn_s = time.perf_counter() - respawn_start
+        respawn_compiles = plan.last_run_stats["worker_compiles"]
+    assert respawn_compiles > 0
+
+    plan.run()  # warm-up: compile + pair layout + rows, outside the timing
+    serial_start = time.perf_counter()
+    serial_results = plan.run()
+    serial_s = time.perf_counter() - serial_start
+
+    with WorkerPool(max_workers=workers) as pool:
+        pool_start = time.perf_counter()
+        pool_results = plan.run(pool=pool)
+        pool_s = time.perf_counter() - pool_start
+        pool_stats = dict(plan.last_run_stats)
+
+    assert norm(serial_results) == norm(pool_results) == norm(respawn_results)
+    assert pool_stats["worker_compiles"] == 0
+    assert all(r.exact for r in serial_results)
+
+    speedup_vs_serial = round(serial_s / pool_s, 2)
+    return {
+        "description": (
+            f"Q_{n} sweep, {trials} trials, --workers {workers}: serial vs "
+            "persistent shared-memory pool vs the old per-worker-recompilation "
+            "fan-out (identical results asserted across all three)"
+        ),
+        "dimension": n,
+        "trials": trials,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "pool_s": round(pool_s, 3),
+        "respawn_s": round(respawn_s, 3),
+        "worker_compiles_pool": pool_stats["worker_compiles"],
+        "worker_compiles_respawn": respawn_compiles,
+        "chunks": pool_stats["chunks"],
+        "speedup_vs_serial": speedup_vs_serial,
+        "speedup_vs_respawn": round(respawn_s / pool_s, 2),
+        "target_speedup_vs_serial": 2.0,
+        "target_met": speedup_vs_serial >= 2.0,
+        "note": (
+            "speedup_vs_serial needs >= workers physical cores to reach the "
+            "target; on fewer cores the pool can only tie a warm serial run, "
+            "and speedup_vs_respawn is the meaningful number"
+        ),
+    }
+
+
 def measure_distributed(n: int, *, seed: int = 1, repetitions: int = 5) -> dict:
     """Event-driven engine vs the legacy analytical simulator on ``Q_n``.
 
@@ -159,7 +356,18 @@ def measure_distributed(n: int, *, seed: int = 1, repetitions: int = 5) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     dimensions = [int(a) for a in (argv or [])] or [12, 14]
+    reduced = max(dimensions) < 14  # CI smoke: skip the expensive frontier
+
+    # The sharded sweep must come first: its recompilation baseline is only
+    # honest while nothing has compiled in this process (see its docstring).
+    sharded = measure_sharded_sweep(
+        16 if not reduced else max(dimensions),
+        workers=4,
+        trials=6 if not reduced else 3,
+    )
     results = [measure_dimension(n) for n in dimensions]
+    frontier = [] if reduced else [measure_compiled_frontier(n) for n in (16, 18)]
+    families = [] if reduced else measure_families()
     distributed = measure_distributed(dimensions[-1])
     headline = results[-1]
     payload = {
@@ -175,6 +383,21 @@ def main(argv: list[str] | None = None) -> int:
         "target_met": headline["diagnose_speedup"] >= 5.0,
         "python": sys.version.split()[0],
         "results": results,
+        "compiled_frontier": {
+            "description": (
+                "compiled-only rows past the legacy path's reach (its dict-table "
+                "syndrome generation alone takes minutes at Q_16+)"
+            ),
+            "results": frontier,
+        },
+        "family_frontier": {
+            "description": (
+                "k-ary and star family instances on the compiled pipeline "
+                "(labels follow the experiment tables)"
+            ),
+            "results": families,
+        },
+        "sharded_sweep": sharded,
         "distributed_engine": {
             "description": (
                 "ProtocolEngine.run_set_builder (real event-driven messages) "
@@ -193,6 +416,26 @@ def main(argv: list[str] | None = None) -> int:
             f"({row['diagnose_speedup']}x); syndrome generation "
             f"{row['syndrome_generation_speedup']}x faster"
         )
+    for row in frontier:
+        print(
+            f"Q_{row['dimension']} (frontier): compile {row['compile_ms']:.0f} ms, "
+            f"syndrome {row['array_syndrome_generation_ms']:.0f} ms, "
+            f"diagnose {row['compiled_diagnose_ms']:.0f} ms"
+        )
+    for row in families:
+        print(
+            f"{row['instance']} (N={row['num_nodes']}): diagnose "
+            f"{row['compiled_diagnose_ms']:.1f} ms, {row['lookups']} lookups"
+        )
+    print(
+        f"Q_{sharded['dimension']} sweep x{sharded['trials']} with "
+        f"--workers {sharded['workers']} (cpu_count {sharded['cpu_count']}): "
+        f"serial {sharded['serial_s']:.2f} s, pool {sharded['pool_s']:.2f} s "
+        f"({sharded['speedup_vs_serial']}x), respawn baseline "
+        f"{sharded['respawn_s']:.2f} s ({sharded['speedup_vs_respawn']}x vs pool); "
+        f"worker compiles: pool {sharded['worker_compiles_pool']}, "
+        f"respawn {sharded['worker_compiles_respawn']}"
+    )
     print(
         f"Q_{distributed['dimension']} distributed: engine "
         f"{distributed['engine_ms']:.1f} ms vs derived "

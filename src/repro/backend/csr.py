@@ -36,7 +36,18 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..networks.base import InterconnectionNetwork
 
-__all__ = ["CSRAdjacency", "compile_network"]
+__all__ = ["CSRAdjacency", "compile_network", "compile_count"]
+
+#: Process-wide count of full topology walks (CSRAdjacency.from_network).
+#: The worker pool reports the delta observed inside each task, which is how
+#: the scale-out layer *proves* its zero-recompilation claim (tests and the
+#: tracked benchmark both assert the delta is 0 for shared-memory workers).
+_compile_count = 0
+
+
+def compile_count() -> int:
+    """Number of full adjacency walks this process has performed."""
+    return _compile_count
 
 
 class CSRAdjacency:
@@ -70,6 +81,7 @@ class CSRAdjacency:
         "_pair_base",
         "_pair_members",
         "_edge_src",
+        "_shm",
     )
 
     def __init__(self, indptr, indices) -> None:
@@ -91,11 +103,17 @@ class CSRAdjacency:
         self._pair_base: list[int] | None = None
         self._pair_members: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._edge_src: np.ndarray | None = None
+        #: shared-memory mapping backing indptr/indices, when this instance was
+        #: reconstructed by repro.parallel.shm.attach_topology (keeps the
+        #: mapping alive exactly as long as the views handed out from it)
+        self._shm = None
 
     # ------------------------------------------------------------ construction
     @classmethod
     def from_network(cls, network: "InterconnectionNetwork") -> "CSRAdjacency":
         """Compile a network's adjacency into flat arrays (one full walk)."""
+        global _compile_count
+        _compile_count += 1
         n = network.num_nodes
         indptr = np.zeros(n + 1, dtype=np.int64)
         flat: list[int] = []

@@ -139,6 +139,17 @@ class GeneralDiagnoser:
         construction; every ``Set_Builder`` run and the final boundary
         computation then operate on the compiled arrays.  ``False`` selects
         the original object-based reference path.
+    sharder:
+        Optional :class:`~repro.parallel.sharded.ShardedSetBuilder` over the
+        same topology.  When given, the *final* unrestricted ``Set_Builder``
+        run — the only network-sized step of the algorithm — executes sharded
+        (optionally across a worker pool); the probe search stays sequential
+        because restricted probes never leave one partition class, i.e. one
+        shard.  The sharded run is property-tested equal to the sequential
+        one, so the diagnosis is unchanged — only its execution is
+        distributed.  Requires ``compiled=True`` and an
+        :class:`~repro.backend.array_syndrome.ArraySyndrome` over this
+        network's compiled topology.
     """
 
     def __init__(
@@ -150,6 +161,7 @@ class GeneralDiagnoser:
         use_partition: bool = True,
         fallback_probe_budget: int | None = None,
         compiled: bool = True,
+        sharder=None,
     ) -> None:
         self.network = network
         self.delta = network.diagnosability() if diagnosability is None else int(diagnosability)
@@ -160,6 +172,14 @@ class GeneralDiagnoser:
         self.fallback_probe_budget = fallback_probe_budget
         self.compiled = compiled
         self.csr = compile_network(network) if compiled else None
+        if sharder is not None:
+            if not compiled:
+                raise ValueError("sharded final runs require the compiled backend")
+            if sharder.csr is not self.csr:
+                raise ValueError(
+                    "the sharder must be built over this network's compiled topology"
+                )
+        self.sharder = sharder
 
     # ----------------------------------------------------------- root search
     def find_healthy_root(
@@ -277,13 +297,16 @@ class GeneralDiagnoser:
 
         root, probes, level = self.find_healthy_root(syndrome)
 
-        final = set_builder(
-            self.network,
-            syndrome,
-            root,
-            diagnosability=self.delta,
-            compiled=self.compiled,
-        )
+        if self.sharder is not None:
+            final = self.sharder.run(syndrome, root, diagnosability=self.delta)
+        else:
+            final = set_builder(
+                self.network,
+                syndrome,
+                root,
+                diagnosability=self.delta,
+                compiled=self.compiled,
+            )
         healthy = final.nodes
         if self.csr is not None and final.member_mask is not None:
             faulty = self.csr.boundary(final.member_mask)

@@ -442,6 +442,119 @@ def _set_builder_array(
     )
 
 
+def _expand_root_pairs(
+    csr, pbuf, u0: int
+) -> tuple[list[int], dict[int, int], int]:
+    """Round 1 of the array paths: scan the root's neighbour pairs (scalar).
+
+    Returns ``(added, parent, lookups)`` exactly as the scalar paths produce
+    them — Δ(Δ-1)/2 pair reads with the double-admission suppression.  Shared
+    by the vectorised path below and by the shard-aware builder
+    (:class:`repro.parallel.sharded.ShardedSetBuilder`), whose coordinator
+    runs round 1 locally because it is tiny.
+    """
+    row0 = csr.rows[u0]
+    d0 = len(row0)
+    base0 = csr.pair_base[u0]
+    in_added: set[int] = set()
+    added: list[int] = []
+    parent: dict[int, int] = {}
+    lookups = 0
+    for i in range(d0):
+        v = row0[i]
+        for j in range(i + 1, d0):
+            w = row0[j]
+            if v in in_added and w in in_added:
+                continue
+            lookups += 1
+            if pbuf[base0 + i * (2 * d0 - i - 1) // 2 + (j - i - 1)] == 0:
+                for node in (v, w):
+                    if node not in in_added:
+                        in_added.add(node)
+                        added.append(node)
+                        parent[node] = u0
+    return added, parent, lookups
+
+
+def _expand_frontier_segment(
+    csr,
+    buf: np.ndarray,
+    member: np.ndarray,
+    frontier: np.ndarray,
+    parents: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Candidate occurrences of a frontier slice, in sequential visit order.
+
+    Gathers every ``(tester u, neighbour v)`` pair of the slice in
+    (u ascending, row position ascending) order — the order the scalar paths
+    visit them in — drops current members, and reads each survivor's test
+    ``s_u(v, t(u))`` from the flat buffer.  Pure function of round-start
+    state; the vectorised path calls it with the whole frontier, the
+    shard-aware builder (:mod:`repro.parallel.sharded`) with per-shard
+    slices whose concatenation is the same global order.
+
+    Returns ``(v, u, result)`` arrays in slice-local flat order.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    if frontier.size == 0:
+        return empty, empty, np.empty(0, dtype=np.uint8)
+    indptr, indices, pair_indptr = csr.indptr, csr.indices, csr.pair_indptr
+
+    counts = (indptr[frontier + 1] - indptr[frontier]).astype(np.int64)
+    total = int(counts.sum())
+    row_starts = np.repeat(indptr[frontier], counts)
+    seg_ends = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(seg_ends - counts, counts)
+    nbr = indices[row_starts + within].astype(np.int64)
+    src = np.repeat(frontier, counts)
+    d_el = np.repeat(counts, counts)
+
+    # Position of each tester's parent inside its sorted row (one match per
+    # tester, emitted in tester order by construction).
+    parent_el = np.repeat(parents, counts)
+    pos_t = within[nbr == parent_el]
+    pos_t_el = np.repeat(pos_t, counts)
+
+    keep = ~member[nbr]
+    v_c = nbr[keep]
+    src_c = src[keep]
+    i_c = np.minimum(within[keep], pos_t_el[keep])
+    j_c = np.maximum(within[keep], pos_t_el[keep])
+    d_c = d_el[keep]
+    slots = pair_indptr[src_c] + i_c * (2 * d_c - i_c - 1) // 2 + (j_c - i_c - 1)
+    return v_c, src_c, buf[slots]
+
+
+def _merge_frontier_candidates(
+    n: int, v_c: np.ndarray, src_c: np.ndarray, val_c: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Sequential admission semantics over flat-order candidate occurrences.
+
+    A node joins at its *first* 0-result occurrence (its tester becomes
+    ``t(v)`` — the least contributor, since the flat order ascends by
+    tester), and occurrences strictly after the admitting one are discounted
+    because the sequential procedure never consults tests of a node that has
+    already joined.  The reversed fancy-index assignment keeps the first
+    occurrence per node without a sort.
+
+    Returns ``(added nodes ascending, their admitting testers, lookups)``.
+    This is the single merge the vectorised path and the cross-shard
+    coordinator both use — keeping their lookup accounting identical by
+    construction.
+    """
+    m = len(v_c)
+    if m == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 0
+    idx_m = np.arange(m, dtype=np.int64)
+    first0 = np.full(n, m, dtype=np.int64)
+    zsel = val_c == 0
+    first0[v_c[zsel][::-1]] = idx_m[zsel][::-1]
+    lookups = m - int((idx_m > first0[v_c]).sum())
+    added_v = np.flatnonzero(first0 < m)
+    added_u = src_c[first0[added_v]]
+    return added_v, added_u, lookups
+
+
 def _set_builder_array_vectorized(
     csr,
     syndrome: ArraySyndrome,
@@ -451,16 +564,15 @@ def _set_builder_array_vectorized(
 ) -> SetBuilderResult:
     """Whole-frontier array path for unrestricted, unbudgeted runs.
 
-    Each round expands the entire frontier with numpy gathers over the flat
-    CSR/pair arrays instead of per-neighbour Python statements.  The
-    procedure, the tie-breaking (``t(v)`` is the least contributor: frontiers
-    ascend and, per added node, the first candidate parent in flat order
-    wins) and the consulted-entry accounting replicate the scalar paths
-    exactly — a candidate stops generating lookups once an earlier tester in
-    the same round has already admitted it.
+    Each round expands the entire frontier with one
+    :func:`_expand_frontier_segment` gather and admits through
+    :func:`_merge_frontier_candidates`.  The procedure, the tie-breaking
+    (``t(v)`` is the least contributor: frontiers ascend and, per added
+    node, the first candidate parent in flat order wins) and the
+    consulted-entry accounting replicate the scalar paths exactly — a
+    candidate stops generating lookups once an earlier tester in the same
+    round has already admitted it.
     """
-    indptr, indices = csr.indptr, csr.indices
-    pair_indptr = csr.pair_indptr
     buf = np.frombuffer(syndrome.buffer, dtype=np.uint8)
     lookups = 0
 
@@ -477,25 +589,8 @@ def _set_builder_array_vectorized(
     # ---------------------------------------------------------------- round 1
     # Δ(Δ-1)/2 pairs of the root's row: scalar (tiny) — identical to the
     # scalar paths.
-    row0 = csr.rows[u0]
-    d0 = len(row0)
-    base0 = csr.pair_base[u0]
-    pbuf = syndrome.buffer
-    in_added = set()
-    added: list[int] = []
-    for i in range(d0):
-        v = row0[i]
-        for j in range(i + 1, d0):
-            w = row0[j]
-            if v in in_added and w in in_added:
-                continue
-            lookups += 1
-            if pbuf[base0 + i * (2 * d0 - i - 1) // 2 + (j - i - 1)] == 0:
-                for node in (v, w):
-                    if node not in in_added:
-                        in_added.add(node)
-                        added.append(node)
-                        parent[node] = u0
+    added, parent, root_lookups = _expand_root_pairs(csr, syndrome.buffer, u0)
+    lookups += root_lookups
     if added:
         added_arr = np.asarray(added, dtype=np.int64)
         member[added_arr] = True
@@ -513,56 +608,15 @@ def _set_builder_array_vectorized(
         if all_healthy and stop_on_certificate:
             truncated = True
             break
-        # Flat gather of every (tester u ∈ frontier, neighbour v) pair, in
-        # (u ascending, row position ascending) order — the order the scalar
-        # paths visit them in.
-        counts = (indptr[frontier + 1] - indptr[frontier]).astype(np.int64)
-        total = int(counts.sum())
-        row_starts = np.repeat(indptr[frontier], counts)
-        seg_ends = np.cumsum(counts)
-        within = np.arange(total, dtype=np.int64) - np.repeat(seg_ends - counts, counts)
-        nbr = indices[row_starts + within].astype(np.int64)
-        src = np.repeat(frontier, counts)
-        d_el = np.repeat(counts, counts)
-
-        # Position of each tester's parent inside its sorted row (one match
-        # per tester, emitted in tester order by construction).
-        parent_el = parent_np[src]
-        pos_t = within[nbr == parent_el]
-        pos_t_el = np.repeat(pos_t, counts)
-
-        keep = ~member[nbr]
-        if not keep.any():
-            break
-        v_c = nbr[keep]
-        src_c = src[keep]
-        i_c = np.minimum(within[keep], pos_t_el[keep])
-        j_c = np.maximum(within[keep], pos_t_el[keep])
-        d_c = d_el[keep]
-        slots = (
-            pair_indptr[src_c]
-            + i_c * (2 * d_c - i_c - 1) // 2
-            + (j_c - i_c - 1)
+        v_c, src_c, val_c = _expand_frontier_segment(
+            csr, buf, member, frontier, parent_np[frontier]
         )
-        val_c = buf[slots]
-
-        # A node joins at its first 0-test in flat order and later testers of
-        # the same round skip it.  Reversed fancy-index assignment leaves the
-        # *first* occurrence in place, giving the admitting tester per node
-        # without a sort.
-        m = len(v_c)
-        idx_m = np.arange(m, dtype=np.int64)
-        first0 = np.full(n, m, dtype=np.int64)
-        zsel = val_c == 0
-        first0[v_c[zsel][::-1]] = idx_m[zsel][::-1]
-        # The sequential procedure stops consulting a node's tests once it is
-        # admitted; occurrences after the admitting one are never looked up.
-        lookups += m - int((idx_m > first0[v_c]).sum())
-
-        added_v = np.flatnonzero(first0 < m)
+        added_v, added_u, round_lookups = _merge_frontier_candidates(
+            n, v_c, src_c, val_c
+        )
+        lookups += round_lookups
         if added_v.size == 0:
             break
-        added_u = src_c[first0[added_v]]
         member[added_v] = True
         parent_np[added_v] = added_u
         parent.update(zip(added_v.tolist(), added_u.tolist()))

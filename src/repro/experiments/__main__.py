@@ -22,7 +22,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="emit GitHub-flavoured markdown tables")
     parser.add_argument("--parallel", action="store_true",
                         help="fan the trial table of each diagnosis experiment out "
-                             "over a process pool (one worker per topology group)")
+                             "in chunks over a shared-memory worker pool")
+    parser.add_argument("--workers", type=int, default=None, metavar="W",
+                        help="pool width for experiments with a sharded mode "
+                             "(E1); implies chunked parallel execution")
     args = parser.parse_args(argv)
 
     names = [name.upper() for name in args.experiments] or sorted(EXPERIMENTS)
@@ -30,9 +33,12 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         kwargs = {}
         runner = EXPERIMENTS.get(name)
-        if args.parallel and runner is not None and \
-                "parallel" in inspect.signature(runner).parameters:
+        parameters = (inspect.signature(runner).parameters
+                      if runner is not None else {})
+        if args.parallel and "parallel" in parameters:
             kwargs["parallel"] = True
+        if args.workers is not None and "workers" in parameters:
+            kwargs["workers"] = args.workers
         report = run_experiment(name, **kwargs)
         ok &= report.claims_verified
         if args.markdown:

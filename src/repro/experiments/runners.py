@@ -49,15 +49,26 @@ __all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]
 
 # --------------------------------------------------------------------------- E1
 def run_e1(*, dimensions: tuple[int, ...] = (7, 8, 9, 10, 11), seed: int = 0,
-           parallel: bool = False) -> ExperimentReport:
-    """E1 (Theorem 2): exactness and O(n·2^n) scaling on hypercubes."""
+           parallel: bool = False, workers: int | None = None) -> ExperimentReport:
+    """E1 (Theorem 2): exactness and O(n·2^n) scaling on hypercubes.
+
+    ``workers`` switches the sweep to *sharded mode*: the trial table fans
+    out in chunks over a persistent shared-memory worker pool
+    (:class:`~repro.parallel.pool.WorkerPool`), with every topology compiled
+    once in the coordinator and mapped zero-copy by the workers.  The rows
+    are bit-identical to the serial run — only wall-clock distribution
+    changes — and the report's notes carry the zero-recompilation evidence.
+    """
     start = time.perf_counter()
     plan = TrialPlan(
         TrialSpec(label=f"Q_{n}", family="hypercube", params=(("dimension", n),),
                   placement="random", fault_count=n, seed=seed + n)
         for n in dimensions
     )
-    results = plan.run(parallel=parallel)
+    if workers is not None:
+        results = plan.run(parallel=True, max_workers=workers)
+    else:
+        results = plan.run(parallel=parallel)
     rows, models, times = [], [], []
     all_exact = True
     for n, res in zip(dimensions, results):
@@ -67,18 +78,35 @@ def run_e1(*, dimensions: tuple[int, ...] = (7, 8, 9, 10, 11), seed: int = 0,
         rows.append((res.spec.label, res.num_nodes, res.num_faults, res.exact,
                      res.lookups, round(res.elapsed_seconds * 1e3, 2)))
     fit = fit_against_model(models, times)
-    claims = all_exact and fit.exponent <= 1.35
+    claims = all_exact
+    if plan.last_run_stats is None:
+        claims &= fit.exponent <= 1.35
+        scaling_note = (
+            f"time vs the paper's n·2^n model: fitted exponent {fit.exponent:.2f} "
+            f"(R^2 = {fit.r_squared:.3f}); exponent ≈ 1 means the measured scaling "
+            "matches O(n·2^n)."
+        )
+    else:
+        # Pooled per-trial timings include worker cold-start (fork, first
+        # attachment, row materialisation), which swamps the n·2^n signal —
+        # the scaling gate only means something serial, so sharded mode
+        # checks exactness and the zero-recompilation evidence instead.
+        stats = plan.last_run_stats
+        claims &= stats["worker_compiles"] == 0
+        scaling_note = (
+            "scaling fit not gated in sharded mode (pooled timings carry worker "
+            f"cold-start noise; serial runs gate the n·2^n claim).  Sharded "
+            f"mode: {stats['chunks']} chunks over {len(stats['workers'])} "
+            f"workers, {stats['worker_compiles']} worker-side topology "
+            "compilations (shared-memory CSR)."
+        )
     return ExperimentReport(
         "E1",
         "hypercube diagnosis, |F| = n (Theorem 2)",
         ["network", "N", "faults", "exact", "lookups", "time (ms)"],
         rows,
         claims,
-        notes=(
-            f"time vs the paper's n·2^n model: fitted exponent {fit.exponent:.2f} "
-            f"(R^2 = {fit.r_squared:.3f}); exponent ≈ 1 means the measured scaling "
-            "matches O(n·2^n)."
-        ),
+        notes=scaling_note,
         elapsed_seconds=time.perf_counter() - start,
     )
 

@@ -14,12 +14,21 @@ and executes it against **shared compiled topologies**:
 * syndromes are generated straight into the flat
   :class:`~repro.backend.array_syndrome.ArraySyndrome` layout (vectorised over
   the compiled pair arrays), which is also the diagnosis fast path;
-* trials are grouped by topology, and groups can optionally fan out over a
-  ``concurrent.futures`` process pool (one process compiles each topology once
-  and runs its whole group).
+* trials are grouped by topology, and groups fan out — in *chunks* — over a
+  persistent shared-memory :class:`~repro.parallel.pool.WorkerPool`: the
+  coordinator compiles each topology once, publishes the flat arrays to
+  ``multiprocessing.shared_memory``, and workers map them zero-copy, so a
+  sweep performs **zero per-worker recompilation** (each chunk task reports
+  the compile-count delta it observed; ``last_run_stats`` aggregates the
+  proof).  Chunking splits *within* a group too, so a plan over one huge
+  topology still uses every worker — the case the old per-group fan-out ran
+  inline.
 
 Results are plain dataclasses of primitives, so they cross process boundaries
 and feed the report tables of :mod:`repro.experiments.runners` directly.
+Every trial carries its own seed (replicate seeds derive positionally via
+:func:`repro.parallel.seeding.spawn_seeds`), so parallel execution is
+bit-identical to serial execution regardless of worker count or chunk size.
 
 The distributed experiment (E9) has its own factor table,
 :class:`DistributedTrialPlan`, whose rows additionally sweep the protocol
@@ -31,17 +40,22 @@ protocol-vs-comparator data point.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from itertools import product
 from typing import Iterable, Sequence
 
+from ..backend import csr as csr_backend
 from ..backend.array_syndrome import ArraySyndrome
 from ..baselines import ExtendedStarDiagnoser, YangCycleDiagnoser
 from ..core.diagnosis import GeneralDiagnoser
 from ..core.faults import clustered_faults, random_faults, spread_faults
 from ..distributed import ChannelConfig, ProtocolEngine, spread_roots
-from ..networks.registry import compiled_network
+from ..networks.registry import cached_network, compiled_network
+from ..parallel import WorkerPool, spawn_seeds
+from ..parallel.pool import worker_topology
+from ..parallel.shm import TopologyHandle
 
 __all__ = [
     "TrialSpec",
@@ -111,15 +125,80 @@ class TrialResult:
         return self.spec.algorithm == "stewart" and self.partition_level is None
 
 
-def _run_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
-    """Execute all trials of one ``(family, params)`` group.
+def _seed_list(seeds: Sequence[int] | int, *, base_seed: int = 0) -> list[int]:
+    """Replicate seeds for a factor table.
 
-    Module-level so a process pool can pickle it; the compiled topology is
-    built once per group per process (and memoized for later groups on the
-    same instance).
+    An explicit sequence passes through; an integer asks for that many
+    replicate seeds derived positionally from ``base_seed`` via
+    ``SeedSequence.spawn`` — the worker-count-independent form.
     """
+    if isinstance(seeds, int):
+        return list(spawn_seeds(base_seed, seeds))
+    return list(seeds)
+
+
+def _chunked(items: list, size: int) -> Iterable[list]:
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+def _chunk_size(group_size: int, workers: int) -> int:
+    """Default chunk size: about two chunks per worker per group.
+
+    Small enough to load every worker even for a single-topology plan, big
+    enough that task overhead stays amortised.
+    """
+    return max(1, -(-group_size // (2 * workers)))
+
+
+def _worker_network(family: str, params: tuple, handle: TopologyHandle | None):
+    """Worker-side topology resolution: cheap object + zero-copy arrays.
+
+    The network object comes from the registry memo (persistent across the
+    worker's lifetime); its compiled adjacency is the shared-memory mapping
+    when a handle is given, so the worker never walks the topology.  With
+    ``handle=None`` the worker compiles locally — the pre-pool behaviour,
+    kept for the benchmark's recompilation-cost baseline.
+    """
+    network = cached_network(family, **dict(params))
+    if handle is not None and getattr(network, "_csr_adjacency", None) is None:
+        network._csr_adjacency = worker_topology(handle)
+    from ..backend.csr import compile_network
+
+    return network, compile_network(network)
+
+
+def _run_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
+    """Execute all trials of one ``(family, params)`` group (serial path)."""
     first = specs[0]
     network, csr = compiled_network(first.family, **first.network_kwargs)
+    return _run_specs(network, csr, specs)
+
+
+def _run_trial_chunk(
+    handle: TopologyHandle | None, family: str, params: tuple,
+    specs: Sequence[TrialSpec],
+) -> tuple[list[TrialResult], dict]:
+    """Pool task: one chunk of a group, plus worker diagnostics.
+
+    The diagnostics record the compile-count delta the chunk caused in its
+    worker — the aggregate over all chunks is how ``TrialPlan.run`` proves
+    its zero-recompilation claim.
+    """
+    compiles_before = csr_backend.compile_count()
+    network, csr = _worker_network(family, params, handle)
+    results = _run_specs(network, csr, specs)
+    stats = {
+        "pid": os.getpid(),
+        "compiles": csr_backend.compile_count() - compiles_before,
+    }
+    return results, stats
+
+
+def _run_specs(
+    network, csr, specs: Sequence[TrialSpec]
+) -> list[TrialResult]:
+    """Execute trial specs against an already-resolved compiled topology."""
     delta = network.diagnosability()
     results: list[TrialResult] = []
     for spec in specs:
@@ -239,15 +318,38 @@ class DistributedTrialResult:
 
 
 def _run_distributed_group(specs: Sequence[DistributedTrialSpec]) -> list[DistributedTrialResult]:
-    """Execute all engine trials of one ``(family, params)`` group.
+    """Execute all engine trials of one ``(family, params)`` group (serial path)."""
+    first = specs[0]
+    network, csr = compiled_network(first.family, **first.network_kwargs)
+    return _run_distributed_specs(network, csr, specs)
+
+
+def _run_distributed_chunk(
+    handle: TopologyHandle | None, family: str, params: tuple,
+    specs: Sequence[DistributedTrialSpec],
+) -> tuple[list[DistributedTrialResult], dict]:
+    """Pool task: one chunk of an engine group, plus worker diagnostics."""
+    compiles_before = csr_backend.compile_count()
+    network, csr = _worker_network(family, params, handle)
+    results = _run_distributed_specs(network, csr, specs)
+    stats = {
+        "pid": os.getpid(),
+        "compiles": csr_backend.compile_count() - compiles_before,
+    }
+    return results, stats
+
+
+def _run_distributed_specs(
+    network, csr, specs: Sequence[DistributedTrialSpec]
+) -> list[DistributedTrialResult]:
+    """Execute engine specs against an already-resolved compiled topology.
 
     The gossip comparator depends only on the channel config and radius (not
     on faults, placement or roots), so its flood — the most expensive
     simulation of a lossy row — is memoized per distinct channel within the
-    group.
+    call (chunked execution re-floods at most once per chunk; the numbers are
+    identical because the flood is deterministic per channel).
     """
-    first = specs[0]
-    network, csr = compiled_network(first.family, **first.network_kwargs)
     gossip_memo: dict[tuple, tuple[int, int]] = {}
     results: list[DistributedTrialResult] = []
     for spec in specs:
@@ -294,14 +396,80 @@ def _run_distributed_group(specs: Sequence[DistributedTrialSpec]) -> list[Distri
     return results
 
 
+def _run_plan_chunked(
+    plan, chunk_task, group_runner, *,
+    parallel: bool, max_workers: int | None, pool: WorkerPool | None,
+    chunk_size: int | None, share_topology: bool,
+) -> list:
+    """Common chunked executor behind both plan classes.
+
+    Groups by topology; each group's compiled arrays are published to shared
+    memory once and its trials fan out in chunks over the (possibly caller-
+    owned, persistent) worker pool.  Results return in table order and
+    ``plan.last_run_stats`` records the distribution evidence — chunk count,
+    worker pids, and the summed worker-side compile deltas (0 when topology
+    sharing is on).
+    """
+    groups = plan.groups()
+    results: list = [None] * len(plan.trials)
+    use_pool = pool is not None or (parallel and plan.trials)
+    plan.last_run_stats = None
+    if not use_pool:
+        for group in groups:
+            for (position, _), result in zip(
+                group, group_runner([spec for _, spec in group])
+            ):
+                results[position] = result
+        return results
+
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(max_workers)
+    stats = {"chunks": 0, "worker_compiles": 0, "workers": set(),
+             "topologies_published": 0}
+    try:
+        submissions = []
+        for group in groups:
+            first = group[0][1]
+            handle = None
+            if share_topology:
+                _, csr = compiled_network(first.family, **first.network_kwargs)
+                handle = pool.publish_topology(csr)
+                stats["topologies_published"] += 1
+            size = chunk_size or _chunk_size(len(group), pool.max_workers)
+            for chunk in _chunked(group, size):
+                future = pool.submit(
+                    chunk_task, handle, first.family, first.params,
+                    [spec for _, spec in chunk],
+                )
+                submissions.append((chunk, future))
+        for chunk, future in submissions:
+            chunk_results, chunk_stats = future.result()
+            for (position, _), result in zip(chunk, chunk_results):
+                results[position] = result
+            stats["chunks"] += 1
+            stats["worker_compiles"] += chunk_stats["compiles"]
+            stats["workers"].add(chunk_stats["pid"])
+    finally:
+        if own_pool:
+            pool.shutdown()
+    stats["workers"] = sorted(stats["workers"])
+    plan.last_run_stats = stats
+    return results
+
+
 class DistributedTrialPlan:
     """A factor-product table of engine runs over shared compiled topologies.
 
     The distributed analogue of :class:`TrialPlan`: rows are
     :class:`DistributedTrialSpec` and execution groups by topology so every
-    trial on the same ``(family, params)`` shares one compiled CSR; groups
-    can fan out over a process pool exactly like diagnosis trials.
+    trial on the same ``(family, params)`` shares one compiled CSR; execution
+    fans out in chunks over a shared-memory worker pool exactly like
+    diagnosis trials.
     """
+
+    #: evidence of the last chunked run (None after a serial run) — see
+    #: :func:`_run_plan_chunked`
+    last_run_stats: dict | None = None
 
     def __init__(self, trials: Iterable[DistributedTrialSpec]) -> None:
         self.trials: list[DistributedTrialSpec] = list(trials)
@@ -313,15 +481,21 @@ class DistributedTrialPlan:
         *,
         placements: Sequence[str] = ("random",),
         fault_count: int | None = None,
-        seeds: Sequence[int] = (0,),
+        seeds: Sequence[int] | int = (0,),
         behaviors: Sequence[str] = ("random",),
         root_counts: Sequence[int] = (1,),
         loss_rates: Sequence[float] = (0.0,),
         duplicate_rates: Sequence[float] = (0.0,),
         latencies: Sequence[str] = ("fixed:1",),
         gossip_radius: int = 3,
+        base_seed: int = 0,
     ) -> "DistributedTrialPlan":
-        """Build the factor-product table (innermost factor varies fastest)."""
+        """Build the factor-product table (innermost factor varies fastest).
+
+        As with :meth:`TrialPlan.from_factors`, an integer ``seeds`` spawns
+        that many positional replicate seeds from ``base_seed``.
+        """
+        seeds = _seed_list(seeds, base_seed=base_seed)
         trials = [
             DistributedTrialSpec(
                 label=label,
@@ -354,33 +528,29 @@ class DistributedTrialPlan:
         return list(grouped.values())
 
     def run(
-        self, *, parallel: bool = False, max_workers: int | None = None
+        self, *, parallel: bool = False, max_workers: int | None = None,
+        pool: WorkerPool | None = None, chunk_size: int | None = None,
+        share_topology: bool = True,
     ) -> list[DistributedTrialResult]:
-        """Execute every trial; results come back in table order."""
-        groups = self.groups()
-        results: list[DistributedTrialResult | None] = [None] * len(self.trials)
-        if parallel and len(groups) > 1:
-            from concurrent.futures import ProcessPoolExecutor
+        """Execute every trial; results come back in table order.
 
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = [
-                    (group, pool.submit(_run_distributed_group, [s for _, s in group]))
-                    for group in groups
-                ]
-                for group, future in futures:
-                    for (position, _), result in zip(group, future.result()):
-                        results[position] = result
-        else:
-            for group in groups:
-                for (position, _), result in zip(
-                    group, _run_distributed_group([s for _, s in group])
-                ):
-                    results[position] = result
-        return results  # type: ignore[return-value]
+        With ``parallel=True`` (or an explicit ``pool``) the engine trials
+        fan out in chunks over a shared-memory worker pool; see
+        :meth:`TrialPlan.run` for the knobs.
+        """
+        return _run_plan_chunked(
+            self, _run_distributed_chunk, _run_distributed_group,
+            parallel=parallel, max_workers=max_workers, pool=pool,
+            chunk_size=chunk_size, share_topology=share_topology,
+        )
 
 
 class TrialPlan:
     """An ordered trial table executed against shared compiled topologies."""
+
+    #: evidence of the last chunked run (None after a serial run) — see
+    #: :func:`_run_plan_chunked`
+    last_run_stats: dict | None = None
 
     def __init__(self, trials: Iterable[TrialSpec]) -> None:
         self.trials: list[TrialSpec] = list(trials)
@@ -392,17 +562,22 @@ class TrialPlan:
         *,
         placements: Sequence[str] = ("random",),
         fault_count: int | None = None,
-        seeds: Sequence[int] = (0,),
+        seeds: Sequence[int] | int = (0,),
         behaviors: Sequence[str] = ("random",),
         algorithms: Sequence[str] = ("stewart",),
+        base_seed: int = 0,
     ) -> "TrialPlan":
         """Build the factor-product table.
 
         ``instances`` is an iterable of ``(label, family, params)``; the other
         factors multiply out in the order placement → seed → behaviour →
         algorithm (innermost varies fastest), matching the row order of the
-        experiment tables.
+        experiment tables.  ``seeds`` may be an explicit sequence or an
+        integer replicate count, in which case the seeds derive positionally
+        from ``base_seed`` via ``SeedSequence.spawn`` (bit-identical results
+        however the table is later chunked across workers).
         """
+        seeds = _seed_list(seeds, base_seed=base_seed)
         trials = [
             TrialSpec(
                 label=label,
@@ -430,31 +605,41 @@ class TrialPlan:
         return list(grouped.values())
 
     def run(
-        self, *, parallel: bool = False, max_workers: int | None = None
+        self, *, parallel: bool = False, max_workers: int | None = None,
+        pool: WorkerPool | None = None, chunk_size: int | None = None,
+        share_topology: bool = True,
     ) -> list[TrialResult]:
         """Execute every trial; results come back in table order.
 
-        With ``parallel=True`` the topology groups fan out over a process
-        pool (each worker compiles its group's topology once).  Parallelism
-        is per *group*, so a plan over a single topology runs inline.
-        """
-        groups = self.groups()
-        results: list[TrialResult | None] = [None] * len(self.trials)
-        if parallel and len(groups) > 1:
-            from concurrent.futures import ProcessPoolExecutor
+        Parameters
+        ----------
+        parallel:
+            Fan the trial table out over a worker pool.  Unlike the old
+            per-group fan-out, parallelism is *chunked within groups* too:
+            a plan over one huge topology still loads every worker, and no
+            worker ever recompiles a topology (the compiled arrays arrive
+            through shared memory).
+        max_workers:
+            Pool width when the pool is created here (ignored with ``pool``).
+        pool:
+            An existing persistent :class:`~repro.parallel.pool.WorkerPool`
+            to run on (and keep warm across plans); implies parallelism.
+        chunk_size:
+            Trials per task; defaults to about two chunks per worker per
+            group.
+        share_topology:
+            Publish compiled topologies to shared memory (the default).
+            ``False`` restores per-worker recompilation — kept only as the
+            benchmark's A/B baseline.
 
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = [
-                    (group, pool.submit(_run_group, [spec for _, spec in group]))
-                    for group in groups
-                ]
-                for group, future in futures:
-                    for (position, _), result in zip(group, future.result()):
-                        results[position] = result
-        else:
-            for group in groups:
-                for (position, _), result in zip(
-                    group, _run_group([spec for _, spec in group])
-                ):
-                    results[position] = result
-        return results  # type: ignore[return-value]
+        Results are bit-identical across all execution modes: every trial
+        carries its own derived seed, so scheduling cannot leak into the
+        numbers.  After a pooled run, ``last_run_stats`` holds the chunk
+        count, worker pids and the summed worker-side compile deltas
+        (0 with ``share_topology=True``).
+        """
+        return _run_plan_chunked(
+            self, _run_trial_chunk, _run_group,
+            parallel=parallel, max_workers=max_workers, pool=pool,
+            chunk_size=chunk_size, share_topology=share_topology,
+        )

@@ -1,0 +1,290 @@
+"""Shard-aware ``Set_Builder`` with a deterministic cross-shard merge.
+
+:class:`ShardedSetBuilder` distributes one unrestricted ``Set_Builder`` run
+over contiguous node-range shards (partition-class aligned, see
+:mod:`repro.parallel.sharding`).  Each round, every shard expands the
+frontier testers whose node id falls in its range — reading the compiled CSR
+and the flat syndrome buffer, both optionally mapped zero-copy out of shared
+memory by pool workers — and reports its *candidate occurrences*: the
+``(neighbour, tester, test-result)`` triples in the tester-ascending,
+row-position-ascending order the sequential procedure visits them in.
+
+The coordinator then performs the **merge**, which is where the procedure's
+sequential semantics are re-imposed deterministically:
+
+* a node is admitted at its *first* zero-result occurrence in the global
+  flat order (shards are contiguous and the frontier ascends, so
+  concatenating the shard outputs in shard order *is* the global order) and
+  its parent is that occurrence's tester — exactly the paper's "``t(v)`` is
+  the least such ``u``" tie-break;
+* occurrences strictly after the admitting one are discounted, because the
+  sequential procedure stops consulting tests of a node that has already
+  joined — this reproduces the reference lookup count *exactly*, not just
+  approximately.
+
+The result is equal, field for field (sets, parents, contributors, rounds,
+lookup counts), to :func:`repro.core.set_builder.set_builder` on every
+non-truncated run — the differential harness under ``tests/differential``
+pins this across every registry family, shard counts {1, 2, 4} and seeds.
+
+Execution modes
+---------------
+With ``pool=None`` the shard tasks run in-process (same arrays, same merge) —
+the mode the equivalence tests lean on and the sensible choice below a few
+thousand nodes, where process round-trips dominate.  With a
+:class:`~repro.parallel.pool.WorkerPool`, the compiled topology is published
+to shared memory once per builder and the per-run syndrome buffer plus a
+shared membership mask are published per run; workers attach all three
+zero-copy and receive only the frontier slice per task.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..backend.array_syndrome import ArraySyndrome
+from ..backend.csr import compile_network
+from ..core.set_builder import (
+    SetBuilderResult,
+    _expand_frontier_segment,
+    _expand_root_pairs,
+    _merge_frontier_candidates,
+)
+from ..networks.base import InterconnectionNetwork
+from .pool import WorkerPool, worker_buffer, worker_topology
+from .sharding import shard_granularity, shard_ranges, split_frontier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .shm import BufferHandle, TopologyHandle
+
+__all__ = ["ShardedSetBuilder"]
+
+# The per-shard round work and the admission merge are the *same code* the
+# vectorised single-process path runs (core.set_builder): a shard expands its
+# frontier slice with _expand_frontier_segment — within-round admissions are
+# deliberately not applied shard-side, so shards never see each other's
+# discoveries mid-round — and the coordinator applies sequential semantics
+# once, globally, with _merge_frontier_candidates.  Sharing one implementation
+# is what keeps the lookup accounting bit-identical across all paths.
+
+
+def _expand_shard_task(
+    topology: "TopologyHandle",
+    syndrome: "BufferHandle",
+    members: "BufferHandle",
+    frontier: np.ndarray,
+    parents: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pool-side shard expansion: attach (cached, zero-copy) and expand."""
+    csr = worker_topology(topology)
+    buf = worker_buffer(syndrome)
+    member = worker_buffer(members).view(np.bool_)
+    return _expand_frontier_segment(csr, buf, member, frontier, parents)
+
+
+class ShardedSetBuilder:
+    """Distribute one ``Set_Builder`` run over contiguous node-range shards.
+
+    Parameters
+    ----------
+    topology:
+        A network or an already compiled
+        :class:`~repro.backend.csr.CSRAdjacency`.  Networks are compiled once
+        on entry (memoized per instance, like every other layer).
+    num_shards:
+        Number of contiguous shards the node range splits into.
+    pool:
+        Optional :class:`~repro.parallel.pool.WorkerPool`.  ``None`` runs the
+        shard tasks in-process (identical arithmetic, no processes); with a
+        pool, the topology is published to shared memory once per builder and
+        every run ships only per-round frontier slices to the workers.
+    granularity:
+        Shard-boundary alignment; defaults to the topology's level-0
+        partition-class size (see
+        :func:`~repro.parallel.sharding.shard_granularity`).
+
+    The per-run entry point is :meth:`run`; builders are reusable across
+    syndromes and roots.  ``restrict``/``max_nodes`` are deliberately not
+    offered — restricted probe runs are tiny by construction (they stay
+    inside one partition class, i.e. one shard) and stay on the sequential
+    paths; sharding exists for the network-sized final run.
+    """
+
+    def __init__(
+        self,
+        topology,
+        *,
+        num_shards: int = 2,
+        pool: WorkerPool | None = None,
+        granularity: int | None = None,
+    ) -> None:
+        self.csr = compile_network(topology)
+        self.network = topology if isinstance(topology, InterconnectionNetwork) else None
+        if granularity is None:
+            granularity = shard_granularity(topology)
+        self.num_shards = int(num_shards)
+        self.granularity = int(granularity)
+        self.ranges = shard_ranges(
+            self.csr.num_nodes, self.num_shards, granularity=self.granularity
+        )
+        self.pool = pool
+        self._topology_handle: "TopologyHandle" | None = None
+
+    # ---------------------------------------------------------------- helpers
+    def _published_topology(self) -> "TopologyHandle":
+        if self._topology_handle is None:
+            assert self.pool is not None
+            self._topology_handle = self.pool.publish_topology(self.csr)
+        return self._topology_handle
+
+    def _default_diagnosability(self) -> int:
+        if self.network is None:
+            raise ValueError(
+                "diagnosability must be given explicitly when the builder was "
+                "constructed from a bare CSRAdjacency"
+            )
+        return self.network.diagnosability()
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        syndrome: ArraySyndrome,
+        u0: int,
+        *,
+        diagnosability: int | None = None,
+        stop_on_certificate: bool = False,
+    ) -> SetBuilderResult:
+        """Run ``Set_Builder(u0)`` sharded; equal to the sequential reference.
+
+        ``syndrome`` must be an :class:`ArraySyndrome` over this builder's
+        compiled topology (the flat buffer is what shards read, locally or
+        out of shared memory).
+        """
+        csr = self.csr
+        if not isinstance(syndrome, ArraySyndrome) or syndrome.csr is not csr:
+            raise ValueError(
+                "ShardedSetBuilder needs an ArraySyndrome over the same compiled "
+                "topology (build it with ArraySyndrome.from_faults(csr, ...))"
+            )
+        if not 0 <= u0 < csr.num_nodes:
+            raise ValueError(f"start node {u0} is not a node of the network")
+        if diagnosability is None:
+            diagnosability = self._default_diagnosability()
+
+        n = csr.num_nodes
+        lookups = 0
+        parent_np = np.full(n, -1, dtype=np.int64)
+        tree_nodes: list[int] = [u0]
+        contributors: set[int] = set()
+        all_healthy = False
+        truncated = False
+
+        # ------------------------------------------------------------ round 1
+        # The root's Δ(Δ-1)/2 pair scan is tiny; the coordinator runs it
+        # locally with the exact scalar code the other array paths use.
+        added, parent, root_lookups = _expand_root_pairs(csr, syndrome.buffer, u0)
+        lookups += root_lookups
+        rounds = 1 if added else 0
+        if added:
+            contributors.add(u0)
+        if len(contributors) > diagnosability:
+            all_healthy = True
+        frontier = np.asarray(sorted(added), dtype=np.int64)
+
+        # --------------------------------------------- membership (shards read)
+        pooled = self.pool is not None and frontier.size > 0
+        syndrome_handle = members_handle = None
+        if pooled:
+            topology_handle = self._published_topology()
+            syndrome_handle = self.pool.publish_buffer(syndrome.buffer)
+            members_handle, members_view = self.pool.allocate_buffer(n)
+            member = members_view.view(np.bool_)
+        else:
+            member = np.zeros(n, dtype=bool)
+        member[u0] = True
+        if added:
+            added_arr = np.asarray(added, dtype=np.int64)
+            member[added_arr] = True
+            parent_np[added_arr] = u0
+            tree_nodes.extend(added)
+
+        try:
+            # -------------------------------------------------- rounds >= 2
+            while frontier.size:
+                if all_healthy and stop_on_certificate:
+                    truncated = True
+                    break
+                segments = [
+                    seg for seg in split_frontier(frontier, self.ranges) if seg.size
+                ]
+                if pooled:
+                    futures = [
+                        self.pool.submit(
+                            _expand_shard_task,
+                            topology_handle,
+                            syndrome_handle,
+                            members_handle,
+                            seg,
+                            parent_np[seg],
+                        )
+                        for seg in segments
+                    ]
+                    pieces = [future.result() for future in futures]
+                else:
+                    buf = np.frombuffer(syndrome.buffer, dtype=np.uint8)
+                    pieces = [
+                        _expand_frontier_segment(csr, buf, member, seg, parent_np[seg])
+                        for seg in segments
+                    ]
+
+                # ------------------------------------------------------ merge
+                # Shard outputs concatenate to the global flat (tester
+                # ascending, row position ascending) order; the shared merge
+                # then applies the sequential admission/discount semantics on
+                # that order, so the result is deterministic and shard-count
+                # independent.
+                empty = np.empty(0, dtype=np.int64)
+                v_c = np.concatenate([p[0] for p in pieces]) if pieces else empty
+                src_c = np.concatenate([p[1] for p in pieces]) if pieces else empty
+                val_c = (np.concatenate([p[2] for p in pieces]) if pieces
+                         else np.empty(0, dtype=np.uint8))
+                added_v, added_u, round_lookups = _merge_frontier_candidates(
+                    n, v_c, src_c, val_c
+                )
+                lookups += round_lookups
+                if added_v.size == 0:
+                    break
+                member[added_v] = True
+                parent_np[added_v] = added_u
+                parent.update(zip(added_v.tolist(), added_u.tolist()))
+                tree_nodes.extend(added_v.tolist())
+                contributors.update(added_u.tolist())
+                rounds += 1
+                if len(contributors) > diagnosability:
+                    all_healthy = True
+                frontier = added_v  # ascending by construction
+            member_mask = np.array(member, dtype=bool) if pooled else member
+        finally:
+            if pooled:
+                # Drop the coordinator's views first (the segment cannot
+                # unmap while they export its buffer), then unlink the
+                # per-run buffers; the topology segment persists for the
+                # builder's (pool's) lifetime.
+                member = members_view = None
+                self.pool.release(syndrome_handle)
+                self.pool.release(members_handle)
+
+        syndrome.lookups += lookups
+        return SetBuilderResult(
+            root=u0,
+            all_healthy=all_healthy,
+            nodes=set(tree_nodes),
+            parent=parent,
+            contributors=contributors,
+            rounds=rounds,
+            lookups=lookups,
+            truncated=truncated,
+            member_mask=member_mask,
+        )

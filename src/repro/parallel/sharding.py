@@ -1,0 +1,84 @@
+"""Shard keys for distributing one diagnosis over a compiled topology.
+
+The partition classes of a :class:`~repro.networks.base.DimensionalNetwork`
+are *contiguous integer ranges* of the node encoding (fixing the leading
+digits fixes the high bits), which makes them natural shard keys: splitting
+the node range ``[0, N)`` at class boundaries assigns every partition class —
+and with it every restricted ``Set_Builder`` probe the driver might run — to
+exactly one shard.
+
+:func:`shard_ranges` computes ``num_shards`` contiguous, near-equal ranges
+whose boundaries are aligned to a *granularity* (the level-0 partition-class
+size when the topology exposes one, else single nodes).
+:func:`split_frontier` then routes a sorted frontier to its shards with one
+``searchsorted`` — because shards are contiguous and frontiers are kept in
+ascending node order, the concatenation of the per-shard slices is exactly
+the sequential visiting order, which is what makes the cross-shard merge of
+:class:`~repro.parallel.sharded.ShardedSetBuilder` deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["shard_granularity", "shard_ranges", "split_frontier"]
+
+
+def shard_granularity(network) -> int:
+    """Shard-boundary alignment for a topology (partition-class size, or 1).
+
+    For dimensional families the level-0 partition classes are contiguous
+    blocks of ``radix**m`` node ids; aligning shard boundaries to that block
+    size keeps every class on a single shard.  Families whose classes are not
+    contiguous in the encoding (the permutation networks), instances too
+    small to admit a partition at all, and plain
+    :class:`~repro.backend.csr.CSRAdjacency` objects with no partition
+    metadata all shard at single-node granularity, which is still correct
+    (the merge never relies on alignment), just not class-aligned.
+    """
+    from ..networks.base import DimensionalNetwork
+
+    if isinstance(network, DimensionalNetwork):
+        try:
+            return network.partition_scheme(0).class_size
+        except ValueError:  # no admissible partition on this instance
+            return 1
+    return 1
+
+
+def shard_ranges(
+    num_nodes: int, num_shards: int, *, granularity: int = 1
+) -> list[tuple[int, int]]:
+    """Split ``[0, num_nodes)`` into ``num_shards`` contiguous aligned ranges.
+
+    Boundaries fall on multiples of ``granularity``; the ranges cover the node
+    set exactly, are pairwise disjoint, and are as balanced as the alignment
+    allows.  With more shards than aligned blocks, trailing ranges are empty
+    (the set builder simply never dispatches to them).
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    if num_nodes < 0:
+        raise ValueError("num_nodes must be non-negative")
+    granularity = max(1, int(granularity))
+    blocks = -(-num_nodes // granularity)  # ceil: trailing partial block allowed
+    bounds = [
+        min(num_nodes, granularity * round(blocks * s / num_shards))
+        for s in range(num_shards + 1)
+    ]
+    bounds[0], bounds[-1] = 0, num_nodes
+    # round() keeps the bounds monotone (blocks*s/num_shards is increasing),
+    # so each (lo, hi) pair is a valid, possibly empty, range.
+    return [(bounds[s], bounds[s + 1]) for s in range(num_shards)]
+
+
+def split_frontier(
+    frontier: np.ndarray, ranges: list[tuple[int, int]]
+) -> list[np.ndarray]:
+    """Slice an ascending frontier into its per-shard segments (no copy).
+
+    The slices concatenate back to ``frontier`` in order — shard ``s`` owns
+    the testers whose node id falls in ``ranges[s]``.
+    """
+    cuts = np.searchsorted(frontier, [hi for _, hi in ranges[:-1]])
+    return np.split(frontier, cuts)

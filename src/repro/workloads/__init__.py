@@ -5,7 +5,14 @@ re-exports them and adds the sweep generators the benchmark harness iterates
 over (one sweep per experiment of DESIGN.md §5).
 """
 
-from .sweeps import SweepPoint, cube_variant_sweep, hypercube_sweep, kary_sweep, permutation_sweep
+from .sweeps import (
+    SweepPoint,
+    cube_variant_sweep,
+    distributed_sweep,
+    hypercube_sweep,
+    kary_sweep,
+    permutation_sweep,
+)
 from ..core.faults import (
     FaultScenario,
     clustered_faults,
@@ -27,4 +34,5 @@ __all__ = [
     "cube_variant_sweep",
     "kary_sweep",
     "permutation_sweep",
+    "distributed_sweep",
 ]

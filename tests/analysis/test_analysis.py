@@ -87,3 +87,20 @@ class TestScalingFits:
     def test_needs_two_points(self):
         with pytest.raises(ValueError):
             fit_power_law([1], [1])
+
+
+class TestScalingFitEdgeCases:
+    def test_constant_measurements_define_r_squared_one(self):
+        # ss_tot == 0: the fit is vacuously perfect rather than dividing by 0.
+        fit = fit_power_law([1, 2, 4], [5.0, 5.0, 5.0])
+        assert fit.r_squared == 1.0
+        assert fit.exponent == pytest.approx(0.0, abs=1e-9)
+
+    def test_float_cells_render_compactly(self):
+        text = format_table(["x"], [[1.23456789], [1000000.0]])
+        assert "1.235" in text
+        assert "1e+06" in text
+
+    def test_fit_against_model_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_against_model([10.0], [1.0])

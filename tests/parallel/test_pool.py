@@ -1,0 +1,99 @@
+"""Worker-pool execution tests: chunked plans, zero recompilation, persistence."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.trials import DistributedTrialPlan, TrialPlan
+from repro.parallel import WorkerPool, default_worker_count
+
+
+def _norm(results):
+    """Strip wall-clock noise; everything else must be bit-identical."""
+    return [dataclasses.replace(r, elapsed_seconds=0.0) for r in results]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(max_workers=2) as shared_pool:
+        yield shared_pool
+
+
+@pytest.fixture(scope="module")
+def two_cube_plan():
+    return TrialPlan.from_factors(
+        [("Q_6", "hypercube", {"dimension": 6}), ("Q_7", "hypercube", {"dimension": 7})],
+        seeds=(3, 4),
+    )
+
+
+class TestChunkedTrialPlan:
+    def test_pooled_equals_serial(self, pool, two_cube_plan):
+        serial = _norm(two_cube_plan.run())
+        assert two_cube_plan.last_run_stats is None  # serial leaves no stats
+        pooled = _norm(two_cube_plan.run(pool=pool))
+        assert pooled == serial
+
+    def test_zero_worker_recompilation(self, pool, two_cube_plan):
+        two_cube_plan.run(pool=pool)
+        stats = two_cube_plan.last_run_stats
+        assert stats is not None
+        assert stats["worker_compiles"] == 0
+        assert stats["topologies_published"] == 2
+        assert stats["chunks"] >= 2
+
+    def test_single_topology_plan_still_chunks(self, pool):
+        """The old per-group fan-out ran one-group plans inline; chunking must not."""
+        plan = TrialPlan.from_factors(
+            [("Q_7", "hypercube", {"dimension": 7})], seeds=6,
+        )
+        serial = _norm(plan.run())
+        pooled = _norm(plan.run(pool=pool, chunk_size=2))
+        assert pooled == serial
+        assert plan.last_run_stats["chunks"] == 3
+        assert plan.last_run_stats["worker_compiles"] == 0
+
+    def test_chunk_size_does_not_change_results(self, pool, two_cube_plan):
+        reference = _norm(two_cube_plan.run(pool=pool))
+        for chunk_size in (1, 3, 100):
+            assert _norm(two_cube_plan.run(pool=pool, chunk_size=chunk_size)) == reference
+
+    def test_parallel_flag_owns_a_throwaway_pool(self, two_cube_plan):
+        serial = _norm(two_cube_plan.run())
+        assert _norm(two_cube_plan.run(parallel=True, max_workers=2)) == serial
+
+    def test_respawn_baseline_still_correct(self, two_cube_plan):
+        """share_topology=False (the benchmark baseline) changes cost, not results."""
+        serial = _norm(two_cube_plan.run())
+        with WorkerPool(max_workers=2) as pool:
+            baseline = _norm(two_cube_plan.run(pool=pool, share_topology=False))
+        assert baseline == serial
+
+
+class TestChunkedDistributedPlan:
+    def test_pooled_equals_serial(self, pool):
+        plan = DistributedTrialPlan.from_factors(
+            [("Q_6", "hypercube", {"dimension": 6})],
+            seeds=(5,),
+            loss_rates=(0.0, 0.1),
+            root_counts=(1, 2),
+        )
+        serial = _norm(plan.run())
+        pooled = _norm(plan.run(pool=pool, chunk_size=1))
+        assert pooled == serial
+        assert plan.last_run_stats["worker_compiles"] == 0
+
+
+class TestPoolBasics:
+    def test_default_worker_count_bounds(self):
+        assert 1 <= default_worker_count() <= 4
+
+    def test_pool_is_reusable_across_plans(self, pool, two_cube_plan):
+        first = _norm(two_cube_plan.run(pool=pool))
+        second = _norm(two_cube_plan.run(pool=pool))
+        assert first == second
+
+    def test_submit_plain_callables(self, pool):
+        assert pool.submit(pow, 2, 10).result() == 1024

@@ -1,0 +1,136 @@
+"""ShardedSetBuilder behaviour beyond the differential harness.
+
+The cross-backend equivalence lives in ``tests/differential``; these tests
+cover the builder's own contract — argument validation, certificate early
+exit, reuse, granularity plumbing, and the pool round-trip details.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.array_syndrome import ArraySyndrome
+from repro.backend.csr import compile_network
+from repro.core.diagnosis import GeneralDiagnoser
+from repro.core.faults import random_faults
+from repro.core.set_builder import set_builder
+from repro.networks.registry import compiled_network
+from repro.parallel import ShardedSetBuilder, WorkerPool
+
+
+@pytest.fixture(scope="module")
+def q8():
+    network, csr = compiled_network("hypercube", dimension=8)
+    faults = random_faults(network, 8, seed=21)
+    syndrome = ArraySyndrome.from_faults(csr, faults, seed=21)
+    root = next(v for v in range(network.num_nodes) if v not in faults)
+    return network, csr, faults, syndrome, root
+
+
+class TestContract:
+    def test_requires_array_syndrome_over_same_csr(self, q8):
+        network, csr, faults, syndrome, root = q8
+        builder = ShardedSetBuilder(network, num_shards=2)
+        with pytest.raises(ValueError):
+            builder.run(syndrome.to_table(), root)
+        other_network, other_csr = compiled_network("hypercube", dimension=7)
+        foreign = ArraySyndrome.from_faults(other_csr, frozenset(), seed=0)
+        with pytest.raises(ValueError):
+            builder.run(foreign, root)
+
+    def test_rejects_out_of_range_roots(self, q8):
+        network, _, _, syndrome, _ = q8
+        builder = ShardedSetBuilder(network, num_shards=2)
+        with pytest.raises(ValueError):
+            builder.run(syndrome, -1)
+        with pytest.raises(ValueError):
+            builder.run(syndrome, network.num_nodes)
+
+    def test_bare_csr_needs_explicit_diagnosability(self, q8):
+        network, csr, faults, syndrome, root = q8
+        builder = ShardedSetBuilder(csr, num_shards=2)
+        with pytest.raises(ValueError):
+            builder.run(syndrome, root)
+        result = builder.run(syndrome, root, diagnosability=8)
+        assert result.all_healthy
+
+    def test_granularity_aligns_to_partition_classes(self, q8):
+        network, _, _, _, _ = q8
+        builder = ShardedSetBuilder(network, num_shards=4)
+        block = network.partition_scheme(0).class_size
+        assert builder.granularity == block
+        for lo, _ in builder.ranges:
+            assert lo % block == 0
+
+    def test_lookup_accounting_credits_the_syndrome(self, q8):
+        network, csr, faults, _, root = q8
+        syndrome = ArraySyndrome.from_faults(csr, faults, seed=21)
+        before = syndrome.lookups
+        result = ShardedSetBuilder(network, num_shards=4).run(syndrome, root)
+        assert syndrome.lookups - before == result.lookups > 0
+
+
+class TestCertificate:
+    def test_stop_on_certificate_truncates_like_the_reference(self, q8):
+        network, csr, faults, syndrome, root = q8
+        reference = set_builder(network, syndrome, root, stop_on_certificate=True)
+        sharded = ShardedSetBuilder(network, num_shards=4).run(
+            syndrome, root, stop_on_certificate=True
+        )
+        assert sharded.all_healthy == reference.all_healthy
+        assert sharded.truncated == reference.truncated
+        assert sharded.nodes == reference.nodes
+        assert sharded.lookups == reference.lookups
+
+    def test_member_mask_matches_nodes(self, q8):
+        import numpy as np
+
+        network, _, _, syndrome, root = q8
+        result = ShardedSetBuilder(network, num_shards=2).run(syndrome, root)
+        assert result.member_mask is not None
+        assert set(np.flatnonzero(result.member_mask).tolist()) == result.nodes
+
+
+class TestPooledRuns:
+    def test_member_mask_survives_segment_teardown(self, q8):
+        import numpy as np
+
+        network, _, _, syndrome, root = q8
+        with WorkerPool(max_workers=2) as pool:
+            builder = ShardedSetBuilder(network, num_shards=4, pool=pool)
+            result = builder.run(syndrome, root)
+        # The per-run segments are gone; the mask must be an owned copy.
+        assert set(np.flatnonzero(result.member_mask).tolist()) == result.nodes
+
+    def test_builder_reuse_publishes_topology_once(self, q8):
+        network, _, faults, _, root = q8
+        csr = compile_network(network)
+        with WorkerPool(max_workers=2) as pool:
+            builder = ShardedSetBuilder(network, num_shards=4, pool=pool)
+            for seed in (1, 2, 3):
+                syndrome = ArraySyndrome.from_faults(csr, faults, seed=seed)
+                builder.run(syndrome, root)
+            topology_segments = [
+                name for name in pool._segments
+                if name == builder._topology_handle.name
+            ]
+            assert len(topology_segments) == 1
+            assert len(pool._segments) == 1  # per-run buffers were released
+
+
+class TestDiagnoserIntegration:
+    def test_diagnoser_validates_the_sharder(self, q8):
+        network, _, _, _, _ = q8
+        other_network, _ = compiled_network("hypercube", dimension=7)
+        with pytest.raises(ValueError):
+            GeneralDiagnoser(network, sharder=ShardedSetBuilder(other_network))
+        with pytest.raises(ValueError):
+            GeneralDiagnoser(
+                network, compiled=False, sharder=ShardedSetBuilder(network)
+            )
+
+    def test_sharded_diagnosis_is_exact(self, q8):
+        network, csr, faults, syndrome, _ = q8
+        sharder = ShardedSetBuilder(network, num_shards=4)
+        result = GeneralDiagnoser(network, sharder=sharder).diagnose(syndrome)
+        assert result.faulty == faults

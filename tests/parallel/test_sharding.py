@@ -1,0 +1,85 @@
+"""Unit tests for shard-range computation and frontier routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.csr import compile_network
+from repro.networks.registry import cached_network
+from repro.parallel import shard_granularity, shard_ranges, split_frontier
+
+
+class TestShardRanges:
+    def test_ranges_partition_the_node_set(self):
+        for n in (0, 1, 7, 128, 1000):
+            for shards in (1, 2, 3, 4, 9):
+                ranges = shard_ranges(n, shards)
+                assert len(ranges) == shards
+                assert ranges[0][0] == 0 and ranges[-1][1] == n
+                for (_, hi), (lo2, _) in zip(ranges, ranges[1:]):
+                    assert hi == lo2  # contiguous, disjoint
+                assert sum(hi - lo for lo, hi in ranges) == n
+
+    def test_alignment_to_granularity(self):
+        ranges = shard_ranges(128, 4, granularity=16)
+        for lo, hi in ranges:
+            assert lo % 16 == 0
+        assert ranges == [(0, 32), (32, 64), (64, 96), (96, 128)]
+
+    def test_unaligned_tail_stays_covered(self):
+        ranges = shard_ranges(100, 3, granularity=16)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 100
+        assert sum(hi - lo for lo, hi in ranges) == 100
+        for lo, _ in ranges:
+            assert lo % 16 == 0  # every boundary except the forced end aligns
+
+    def test_more_shards_than_blocks_yields_empty_tails(self):
+        ranges = shard_ranges(32, 8, granularity=16)
+        assert sum(1 for lo, hi in ranges if hi > lo) <= 2
+        assert sum(hi - lo for lo, hi in ranges) == 32
+
+    def test_balance_within_one_granule(self):
+        ranges = shard_ranges(1024, 4, granularity=16)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 16
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            shard_ranges(10, 0)
+        with pytest.raises(ValueError):
+            shard_ranges(-1, 2)
+
+
+class TestGranularity:
+    def test_dimensional_families_align_to_partition_classes(self):
+        cube = cached_network("hypercube", dimension=8)
+        assert shard_granularity(cube) == cube.partition_scheme(0).class_size
+
+    def test_permutation_families_fall_back_to_single_nodes(self):
+        star = cached_network("star", n=5)
+        assert shard_granularity(star) == 1
+
+    def test_bare_csr_falls_back_to_single_nodes(self):
+        csr = compile_network(cached_network("hypercube", dimension=6))
+        assert shard_granularity(csr) == 1
+
+    def test_instances_without_partitions_fall_back(self):
+        tiny = cached_network("augmented_kary_ncube", n=2, k=6)
+        assert shard_granularity(tiny) == 1
+
+
+class TestSplitFrontier:
+    def test_slices_concatenate_in_order(self):
+        frontier = np.array([0, 3, 17, 31, 32, 40, 63, 64, 99], dtype=np.int64)
+        ranges = [(0, 32), (32, 64), (64, 100)]
+        parts = split_frontier(frontier, ranges)
+        assert len(parts) == 3
+        assert np.concatenate(parts).tolist() == frontier.tolist()
+        for part, (lo, hi) in zip(parts, ranges):
+            assert all(lo <= v < hi for v in part.tolist())
+
+    def test_empty_shards_produce_empty_slices(self):
+        frontier = np.array([70, 71], dtype=np.int64)
+        parts = split_frontier(frontier, [(0, 32), (32, 64), (64, 100)])
+        assert [len(p) for p in parts] == [0, 0, 2]

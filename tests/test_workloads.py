@@ -6,9 +6,15 @@ import pytest
 
 from repro.workloads import (
     cube_variant_sweep,
+    distributed_sweep,
     hypercube_sweep,
     kary_sweep,
     permutation_sweep,
+)
+from repro.workloads.sweeps import (
+    DISTRIBUTED_LATENCIES,
+    DISTRIBUTED_LOSS_RATES,
+    DISTRIBUTED_ROOT_COUNTS,
 )
 
 
@@ -51,3 +57,58 @@ class TestSweeps:
         b = permutation_sweep(seed=3)
         for pa, pb in zip(a, b):
             assert [s.faults for s in pa.scenarios] == [s.faults for s in pb.scenarios]
+
+
+class TestDistributedSweep:
+    def test_factor_table_shape(self):
+        plan = distributed_sweep(dimensions=(6, 7), seed=2)
+        # topology x loss-rate x root-count (default latency list is fixed:1)
+        expected = 2 * len(DISTRIBUTED_LOSS_RATES) * len(DISTRIBUTED_ROOT_COUNTS)
+        assert len(plan) == expected
+        labels = {t.label for t in plan.trials}
+        assert labels == {"Q_6", "Q_7"}
+        assert {t.seed for t in plan.trials} == {2}
+
+    def test_axes_come_from_the_shared_constants(self):
+        plan = distributed_sweep(dimensions=(6,))
+        assert {t.loss_rate for t in plan.trials} == set(DISTRIBUTED_LOSS_RATES)
+        assert {t.root_count for t in plan.trials} == set(DISTRIBUTED_ROOT_COUNTS)
+
+    def test_axes_are_overridable(self):
+        plan = distributed_sweep(
+            dimensions=(6,), loss_rates=(0.25,), root_counts=(3,),
+            latencies=("uniform:1:2",),
+        )
+        assert all(t.loss_rate == 0.25 for t in plan.trials)
+        assert all(t.root_count == 3 for t in plan.trials)
+        assert all(t.latency == "uniform:1:2" for t in plan.trials)
+
+    def test_default_latencies_constant_is_exercised(self):
+        assert "fixed:1" in DISTRIBUTED_LATENCIES
+
+    def test_plan_rows_execute_on_the_engine(self):
+        plan = distributed_sweep(dimensions=(6,), loss_rates=(0.0,),
+                                 root_counts=(1,))
+        results = plan.run()
+        assert len(results) == len(plan)
+        assert all(r.exact for r in results)
+        assert all(r.gossip_messages > 0 for r in results)
+
+
+class TestSweepPointShape:
+    def test_num_nodes_property(self):
+        point = hypercube_sweep(dimensions=(7,))[0]
+        assert point.num_nodes == point.network.num_nodes == 128
+
+    def test_instance_tables_are_registry_backed(self):
+        from repro.workloads.sweeps import (
+            CUBE_VARIANT_INSTANCES,
+            KARY_INSTANCES,
+            PERMUTATION_INSTANCES,
+        )
+        from repro.networks.registry import available_families
+
+        for table in (CUBE_VARIANT_INSTANCES, KARY_INSTANCES, PERMUTATION_INSTANCES):
+            for _, family, params in table:
+                assert family in available_families()
+                assert isinstance(params, dict)
