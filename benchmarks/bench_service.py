@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Serving-layer benchmark: coalesced-batched vs naive one-at-a-time.
+
+Drives the seeded closed-loop load generator (`repro.service.loadgen`)
+against three service configurations on the acceptance workload — a mixed
+Q_12 / Q_14 / S_7 request stream with repeats:
+
+* **naive** — no coalescing, no topology cache, no store: every request
+  resolves (constructs + compiles) its topology from scratch and runs alone,
+  the way a fresh CLI invocation serves one request;
+* **batched** — the coalescing service with its bounded topology LRU and a
+  result store, batches executed in-process;
+* **batched_pooled** — the same, with batches dispatched as single
+  shared-memory `WorkerPool` tasks (pair members shipped, so workers neither
+  compile nor rebuild pair arrays — the reported deltas prove it).
+
+Every batched response is verified bit-identical to the direct
+`GeneralDiagnoser` pipeline before any number is recorded.  Results land in
+``BENCH_service.json``; the acceptance target is **>= 3x** batched-over-naive
+throughput with zero worker-side compiles.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_service.py
+(--smoke shrinks the mix for CI and skips the JSON write).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.service import LoadSpec, ResultStore, run_load_sync
+from repro.service.loadgen import DEFAULT_MIX
+
+SMOKE_MIX = (
+    ("hypercube", {"dimension": 8}),
+    ("star", {"n": 5}),
+)
+
+
+def _mode_entry(name: str, report, *, verified: bool) -> dict:
+    stats = report.stats
+    return {
+        "mode": name,
+        "wall_seconds": round(report.wall_seconds, 3),
+        "throughput_rps": round(report.throughput_rps, 2),
+        "sources": report.source_counts(),
+        "errors": report.errors,
+        "verified_bit_identical": verified and report.mismatches == 0,
+        "batches": stats["batches"],
+        "coalesced_batches": stats["coalesced_batches"],
+        "mean_batch_size": stats["mean_batch_size"],
+        "worker_compiles": stats["worker_compiles"],
+        "worker_pair_builds": stats["worker_pair_builds"],
+        "topology_resolutions": stats["topology_cache"]["misses"],
+        "store_hits": stats["store_hits"],
+        "coalesced_duplicates": stats["coalesced_duplicates"],
+        "latency_ms": stats["latency_ms"],
+    }
+
+
+def measure(spec: LoadSpec, *, workers: int, verify: bool) -> list[dict]:
+    from repro.parallel import WorkerPool
+
+    naive = run_load_sync(spec, naive=True, verify=verify)
+    batched = run_load_sync(spec, store=ResultStore(), verify=verify)
+    with WorkerPool(max_workers=workers) as pool:
+        pooled = run_load_sync(spec, pool=pool, store=ResultStore(), verify=verify)
+    return [
+        _mode_entry("naive", naive, verified=verify),
+        _mode_entry("batched", batched, verified=verify),
+        _mode_entry("batched_pooled", pooled, verified=verify),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    smoke = "--smoke" in argv
+    mix = SMOKE_MIX if smoke else DEFAULT_MIX
+    spec = LoadSpec.from_mix(
+        mix,
+        clients=4,
+        requests_per_client=4 if smoke else 6,
+        seed=0,
+        seed_pool=4,
+    )
+    # Smoke runs verify too — it is the cheap part; what --smoke cuts is the
+    # Q_14-sized topology work.
+    modes = measure(spec, workers=2, verify=True)
+    by_name = {entry["mode"]: entry for entry in modes}
+    speedup = round(
+        by_name["batched"]["throughput_rps"]
+        / max(by_name["naive"]["throughput_rps"], 1e-9),
+        2,
+    )
+    pooled_speedup = round(
+        by_name["batched_pooled"]["throughput_rps"]
+        / max(by_name["naive"]["throughput_rps"], 1e-9),
+        2,
+    )
+    payload = {
+        "benchmark": "bench_service",
+        "description": (
+            "closed-loop load generation against the diagnosis service: "
+            "coalesced-batched serving (bounded topology LRU + result store, "
+            "in-process and worker-pool batch dispatch) vs naive "
+            "one-at-a-time serving that resolves every request from scratch"
+        ),
+        "workload": {
+            "mix": [
+                {"family": family, "params": dict(params)} for family, params in mix
+            ],
+            "clients": spec.clients,
+            "requests_per_client": spec.requests_per_client,
+            "total_requests": spec.total_requests,
+            "seed": spec.seed,
+            "seed_pool": spec.seed_pool,
+        },
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "results": modes,
+        "batched_speedup_vs_naive": speedup,
+        "pooled_speedup_vs_naive": pooled_speedup,
+        "target_speedup": 3.0,
+        "target_met": speedup >= 3.0,
+        "zero_recompilation": (
+            by_name["batched"]["worker_compiles"] == 0
+            and by_name["batched_pooled"]["worker_compiles"] == 0
+            and by_name["batched_pooled"]["worker_pair_builds"] == 0
+        ),
+        "all_modes_bit_identical": all(
+            entry["verified_bit_identical"] for entry in modes
+        ),
+        "note": (
+            "naive topology_resolutions equals its request count (every "
+            "request compiles afresh); batched resolves each distinct "
+            "topology once and serves repeats from the store or an "
+            "in-flight batch"
+        ),
+    }
+    for entry in modes:
+        print(
+            f"{entry['mode']:>15}: {entry['throughput_rps']:>8} req/s "
+            f"({entry['wall_seconds']} s, {entry['batches']} batches, "
+            f"compiles {entry['topology_resolutions']}, "
+            f"worker compiles {entry['worker_compiles']}, "
+            f"store hits {entry['store_hits']}, "
+            f"bit-identical {entry['verified_bit_identical']})"
+        )
+    print(
+        f"batched vs naive: {speedup}x (pooled {pooled_speedup}x); "
+        f"target >= 3.0x -> {'met' if payload['target_met'] else 'MISSED'}"
+    )
+    if smoke:
+        # The smoke mix is too small for compile amortisation to dominate;
+        # it gates on correctness and the zero-recompilation evidence only.
+        ok = payload["all_modes_bit_identical"] and payload["zero_recompilation"]
+        return 0 if ok else 1
+    out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0 if payload["target_met"] and payload["all_modes_bit_identical"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -2,56 +2,86 @@
 """Distributed self-diagnosis (the paper's further-research direction).
 
 The paper closes by arguing that the fault-free communication system of the
-multiprocessor should run the diagnosis itself, and that a distributed form of
-its algorithm beats a distributed form of Chiang & Tan's.  This example
-simulates both communication patterns on hypercubes of growing dimension:
+multiprocessor should run the diagnosis itself.  This example drives the
+*event-driven protocol engine* (`repro.distributed.engine`) — real
+invitation/acceptance/convergecast messages through a channel model — rather
+than the legacy analytical cost model, and exercises the two modes the
+engine adds beyond the paper's sketch:
 
-* the distributed ``Set_Builder`` flood (invitations + acceptances +
-  convergecast) started from the certified healthy root, and
-* the radius-3 gossip every node would need just to assemble its extended-star
-  test data before Chiang & Tan's local rule could run.
+* **concurrent roots**: several known-healthy nodes flood simultaneously and
+  their trees merge, trading extra messages for fewer rounds;
+* **lossy channels**: every transmission is dropped with some probability
+  and the bounded ARQ sublayer retransmits — the run still terminates and
+  still never accuses a healthy node.
 
-Run with:  python examples/distributed_selfdiagnosis.py
+Each row is compared against the radius-3 gossip every node would need just
+to assemble its extended-star test data before Chiang & Tan's local rule
+could run, measured on the *same* channel.
+
+Run with:  PYTHONPATH=src python examples/distributed_selfdiagnosis.py
 """
 
 from __future__ import annotations
 
-from repro import GeneralDiagnoser, Hypercube, generate_syndrome, random_faults
+from repro import Hypercube, random_faults
 from repro.analysis import format_table
-from repro.distributed import DistributedSetBuilder, extended_star_gossip_cost
+from repro.backend.array_syndrome import ArraySyndrome
+from repro.backend.csr import compile_network
+from repro.distributed import ChannelConfig, ProtocolEngine, spread_roots
+
+SEED = 3
+GOSSIP_RADIUS = 3
+
+
+def run_row(dimension: int, *, roots: int, loss_rate: float) -> tuple:
+    cube = Hypercube(dimension)
+    csr = compile_network(cube)
+    faults = random_faults(cube, dimension, seed=SEED)
+    syndrome = ArraySyndrome.from_faults(csr, faults, seed=SEED)
+    healthy = [v for v in range(cube.num_nodes) if v not in faults]
+
+    config = ChannelConfig(loss_rate=loss_rate, seed=SEED)
+    engine = ProtocolEngine(csr, config=config)
+    outcome = engine.run_set_builder(syndrome, spread_roots(healthy, roots))
+    gossip = engine.run_gossip(GOSSIP_RADIUS)
+
+    false_positives = len(outcome.faulty - faults)
+    return (
+        f"Q_{dimension}",
+        roots,
+        f"{loss_rate:.0%}",
+        outcome.rounds,
+        outcome.messages,
+        outcome.retries,
+        outcome.merges,
+        gossip.messages,
+        f"{gossip.messages / outcome.messages:.1f}x",
+        outcome.faults_found == len(faults) and false_positives == 0,
+        false_positives == 0,
+    )
 
 
 def main() -> None:
     rows = []
-    for n in (8, 9, 10, 11):
-        cube = Hypercube(n)
-        faults = random_faults(cube, n, seed=3)
-        syndrome = generate_syndrome(cube, faults, seed=3)
-        root = GeneralDiagnoser(cube).diagnose(syndrome).healthy_root
-
-        stats = DistributedSetBuilder(cube).run(syndrome, root)
-        gossip_rounds, gossip_messages = extended_star_gossip_cost(cube, radius=3)
-
-        rows.append(
-            (
-                f"Q_{n}",
-                stats.rounds,
-                stats.messages,
-                gossip_rounds,
-                gossip_messages,
-                f"{gossip_messages / stats.messages:.1f}x",
-                stats.faults_found == len(faults),
-            )
-        )
+    for dimension in (8, 9, 10):
+        # The paper's single-root reliable baseline, then the engine's
+        # extensions: three concurrent roots, then a 10% lossy channel.
+        rows.append(run_row(dimension, roots=1, loss_rate=0.0))
+        rows.append(run_row(dimension, roots=3, loss_rate=0.0))
+        rows.append(run_row(dimension, roots=1, loss_rate=0.10))
     print(format_table(
-        ["network", "SB rounds", "SB messages", "gossip rounds", "gossip messages",
-         "message ratio", "faults found"],
+        ["network", "roots", "loss", "rounds", "messages", "retries", "merges",
+         "gossip msgs", "ratio", "exact", "no false acc."],
         rows,
-        title="Distributed Set_Builder vs extended-star data dissemination",
+        title="Protocol engine: multi-root and lossy runs vs extended-star gossip",
     ))
-    print("\nRounds grow with the tree depth (≈ the diameter) rather than with N, and the")
-    print("message count stays well below the per-node extended-star dissemination cost —")
-    print("the qualitative claim of the paper's concluding section.")
+    print("\nMulti-root floods cut rounds (trees grow in parallel, then merge) at a")
+    print("modest message premium; loss triggers ARQ retries and can shrink the grown")
+    print("tree, but accusations stay sound — a node's boundary candidates come from")
+    print("its local tests, so no healthy node is ever accused.  The message count")
+    print("stays far below the per-node extended-star dissemination on every channel —")
+    print("the qualitative claim of the paper's concluding section, now measured on")
+    print("real messages.")
 
 
 if __name__ == "__main__":

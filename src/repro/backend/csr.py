@@ -36,7 +36,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..networks.base import InterconnectionNetwork
 
-__all__ = ["CSRAdjacency", "compile_network", "compile_count"]
+__all__ = ["CSRAdjacency", "compile_network", "compile_count", "pair_build_count"]
 
 #: Process-wide count of full topology walks (CSRAdjacency.from_network).
 #: The worker pool reports the delta observed inside each task, which is how
@@ -44,10 +44,22 @@ __all__ = ["CSRAdjacency", "compile_network", "compile_count"]
 #: tracked benchmark both assert the delta is 0 for shared-memory workers).
 _compile_count = 0
 
+#: Process-wide count of pair-member materialisations (pair_members()) — the
+#: other big per-topology intermediate (three num_pairs-sized arrays, used by
+#: vectorised syndrome generation).  Shipping them through shared memory
+#: (repro.parallel.shm) keeps the worker-side delta at 0, mirroring the
+#: compile-count evidence.
+_pair_build_count = 0
+
 
 def compile_count() -> int:
     """Number of full adjacency walks this process has performed."""
     return _compile_count
+
+
+def pair_build_count() -> int:
+    """Number of pair-member materialisations this process has performed."""
+    return _pair_build_count
 
 
 class CSRAdjacency:
@@ -169,6 +181,8 @@ class CSRAdjacency:
         the vectorised syndrome generator and by table exports.
         """
         if self._pair_members is None:
+            global _pair_build_count
+            _pair_build_count += 1
             pu = np.empty(self.num_pairs, dtype=np.int32)
             pv = np.empty(self.num_pairs, dtype=np.int32)
             pw = np.empty(self.num_pairs, dtype=np.int32)

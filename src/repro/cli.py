@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three sub-commands cover the common workflows:
+Six sub-commands cover the common workflows:
 
 ``repro-diagnose diagnose``
     Inject a fault set into a chosen network, generate the MM-model syndrome
@@ -22,6 +22,19 @@ Three sub-commands cover the common workflows:
 ``repro-diagnose properties``
     Print the structural properties (degree, diagnosability, connectivity)
     of a chosen network instance and whether Theorem 1 applies.
+
+``repro-diagnose serve``
+    Run the asyncio diagnosis service (:mod:`repro.service`) over a stream
+    of requests — a JSONL file or a seeded demo mix — with request
+    coalescing, a bounded topology cache, an optional persistent result
+    store and an optional worker pool, then print the ``stats`` snapshot.
+
+``repro-diagnose load``
+    Seeded closed-loop load generator: ``--clients N`` clients each issue
+    ``--requests M`` requests against a freshly built service; reports
+    throughput, latency percentiles and coalescing/cache evidence, with
+    ``--naive`` and ``--compare`` baselines and ``--verify`` checking every
+    answer against the direct pipeline.
 """
 
 from __future__ import annotations
@@ -47,6 +60,23 @@ def _parse_params(pairs: list[str]) -> dict[str, int]:
         key, value = pair.split("=", 1)
         params[key] = int(value)
     return params
+
+
+def _parse_instance(spec: str) -> tuple[str, dict[str, int]]:
+    """Parse ``family`` or ``family:name=value,name=value`` mix entries."""
+    family, _, rest = spec.partition(":")
+    if family not in available_families():
+        raise SystemExit(
+            f"unknown network family {family!r} in instance {spec!r}; "
+            f"available: {', '.join(available_families())}"
+        )
+    if not rest:
+        return family, dict(FAMILIES[family].small)
+    try:
+        params = _parse_params(rest.split(","))
+    except argparse.ArgumentTypeError as exc:
+        raise SystemExit(f"bad instance {spec!r}: {exc}")
+    return family, params
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,6 +137,67 @@ def build_parser() -> argparse.ArgumentParser:
                       help="extended-star gossip radius for the comparison row")
     dist.add_argument("--trace", metavar="PATH", default=None,
                       help="write the replayable event log to PATH")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the batched diagnosis service over a request stream",
+    )
+    serve.add_argument("--requests", metavar="PATH", default=None,
+                       help="JSONL request file (one JSON object per line with "
+                            "family/params/placement/fault_count/behavior/seed); "
+                            "default: a seeded built-in demo mix")
+    serve.add_argument("--demo-requests", type=int, default=12,
+                       help="size of the built-in demo mix when no --requests "
+                            "file is given")
+    serve.add_argument("--workers", type=int, default=None, metavar="W",
+                       help="dispatch batches over a W-process shared-memory "
+                            "worker pool (default: in-process batches)")
+    serve.add_argument("--store", metavar="PATH", default=None,
+                       help="persist results in a SQLite store at PATH "
+                            "(repeats are then served from disk)")
+    serve.add_argument("--cache-capacity", type=int, default=16,
+                       help="bound of the compiled-topology LRU cache")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="dispatch a batch once this many requests coalesced")
+    serve.add_argument("--batch-delay-ms", type=float, default=2.0,
+                       help="coalescing window in milliseconds")
+    serve.add_argument("--stats-json", metavar="PATH", default=None,
+                       help="write the service stats snapshot to PATH as JSON")
+
+    load = sub.add_parser(
+        "load",
+        help="closed-loop load generator against a freshly built service",
+    )
+    load.add_argument("--clients", type=int, default=4,
+                      help="number of concurrent closed-loop clients")
+    load.add_argument("--requests", type=int, default=8,
+                      help="requests issued per client")
+    load.add_argument("--instance", action="append", default=[], metavar="SPEC",
+                      help="mix entry 'family' or 'family:name=value,...' "
+                           "(repeatable; default: hypercube:dimension=8 + star:n=6)")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--seed-pool", type=int, default=8,
+                      help="distinct syndrome seeds per topology (small pools "
+                           "produce repeats, exercising coalescing and the store)")
+    load.add_argument("--workers", type=int, default=None, metavar="W",
+                      help="dispatch batches over a W-process pool")
+    load.add_argument("--store", metavar="PATH", default=None,
+                      help="SQLite result store path ('' for in-memory); "
+                           "default: in-memory store")
+    load.add_argument("--naive", action="store_true",
+                      help="serve one-at-a-time with no coalescing/caching "
+                           "(the baseline) instead of the batched service")
+    load.add_argument("--compare", action="store_true",
+                      help="run naive then batched and report the speedup")
+    load.add_argument("--verify", action="store_true",
+                      help="check every response against the direct pipeline")
+    load.add_argument("--expect-coalesced", type=int, default=None, metavar="N",
+                      help="exit nonzero unless at least N coalesced batches ran")
+    load.add_argument("--expect-store-hits", type=int, default=None, metavar="N",
+                      help="exit nonzero unless at least N requests were served "
+                           "from the result store")
+    load.add_argument("--stats-json", metavar="PATH", default=None,
+                      help="write the load report (summary + stats) to PATH")
 
     survey = sub.add_parser("survey", help="diagnose one instance of every family")
     survey.add_argument("--size", choices=["small", "medium"], default="small")
@@ -234,6 +325,217 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     return 0 if not false_positives else 1
 
 
+def _demo_requests(count: int):
+    """The built-in ``serve`` demo mix (seeded, includes repeats)."""
+    from .service import DiagnosisRequest
+
+    mix = (("hypercube", {"dimension": 7}), ("star", {"n": 6}))
+    return [
+        DiagnosisRequest.seeded(
+            *mix[i % len(mix)], seed=(i // len(mix)) % max(1, count // 3)
+        )
+        for i in range(count)
+    ]
+
+
+def _read_requests_file(path: str):
+    import json
+
+    from .service import DiagnosisRequest
+
+    requests = []
+    try:
+        with open(path) as fh:
+            for number, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    requests.append(DiagnosisRequest.from_dict(json.loads(line)))
+                except (ValueError, TypeError) as exc:
+                    raise SystemExit(f"{path}:{number}: bad request: {exc}")
+    except OSError as exc:
+        raise SystemExit(f"cannot read requests file: {exc}")
+    if not requests:
+        raise SystemExit(f"{path}: no requests found")
+    return requests
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.cache_capacity < 0:
+        raise SystemExit("--cache-capacity must be non-negative")
+    if args.max_batch < 1:
+        raise SystemExit("--max-batch must be at least 1")
+    if args.batch_delay_ms < 0:
+        raise SystemExit("--batch-delay-ms must be non-negative")
+    if args.requests is not None:
+        requests = _read_requests_file(args.requests)
+    else:
+        if args.demo_requests < 1:
+            raise SystemExit("--demo-requests must be at least 1")
+        requests = _demo_requests(args.demo_requests)
+
+    from .service import DiagnosisService, ResultStore
+    from .service.executor import validate_request
+
+    for request in requests:
+        try:
+            validate_request(request)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
+    pool = None
+    if args.workers is not None:
+        from .parallel import WorkerPool
+
+        pool = WorkerPool(max_workers=args.workers)
+    store = ResultStore(args.store) if args.store is not None else None
+
+    async def _serve():
+        async with DiagnosisService(
+            pool=pool,
+            max_batch_size=args.max_batch,
+            batch_delay=args.batch_delay_ms / 1e3,
+            topology_cache_capacity=args.cache_capacity,
+            store=store,
+        ) as service:
+            responses = await service.submit_many(requests)
+            return responses, service.stats()
+
+    try:
+        responses, stats = asyncio.run(_serve())
+    except (ValueError, TypeError) as exc:
+        # e.g. a params name the constructor rejects, only detectable once
+        # the topology is actually built.
+        raise SystemExit(f"request failed: {exc}")
+    finally:
+        if pool is not None:
+            pool.shutdown()
+        if store is not None:
+            store.close()
+
+    for request, response in zip(requests, responses):
+        status = f"{len(response.faulty)} faults" if response.ok else response.error
+        print(f"{request.describe():<55} -> {status:<20} "
+              f"[{response.source}, batch={response.batch_size}, "
+              f"{response.elapsed_seconds * 1e3:.1f} ms]")
+    print(f"\nserved {stats['requests']} requests: "
+          f"{stats['computed']} computed in {stats['batches']} batches "
+          f"({stats['coalesced_batches']} coalesced), "
+          f"{stats['store_hits']} from store, "
+          f"{stats['coalesced_duplicates']} coalesced duplicates")
+    print(f"worker compiles: {stats['worker_compiles']}, "
+          f"pair builds: {stats['worker_pair_builds']}, "
+          f"topology cache: {stats['topology_cache']}")
+    if args.stats_json is not None:
+        with open(args.stats_json, "w") as fh:
+            json.dump(stats, fh, indent=2)
+        print(f"stats -> {args.stats_json}")
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    if args.clients < 1:
+        raise SystemExit("--clients must be at least 1")
+    if args.requests < 1:
+        raise SystemExit("--requests must be at least 1")
+    if args.seed_pool < 1:
+        raise SystemExit("--seed-pool must be at least 1")
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.naive and args.compare:
+        raise SystemExit("--naive and --compare are mutually exclusive")
+    if args.naive and args.workers is not None:
+        raise SystemExit("--naive serves in-process; drop --workers")
+    if args.naive and args.store is not None:
+        raise SystemExit("--naive never consults a store; drop --store")
+    mix = [_parse_instance(spec) for spec in args.instance] or [
+        ("hypercube", {"dimension": 8}),
+        ("star", {"n": 6}),
+    ]
+
+    from .service import LoadSpec, ResultStore, run_load_sync
+
+    spec = LoadSpec.from_mix(
+        mix,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+        seed_pool=args.seed_pool,
+    )
+
+    def _batched_report():
+        pool = None
+        if args.workers is not None:
+            from .parallel import WorkerPool
+
+            pool = WorkerPool(max_workers=args.workers)
+        store = ResultStore(args.store if args.store else ":memory:")
+        try:
+            return run_load_sync(spec, pool=pool, store=store, verify=args.verify)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+            store.close()
+
+    reports = {}
+    if args.naive or args.compare:
+        reports["naive"] = run_load_sync(spec, naive=True, verify=args.verify)
+    if not args.naive:
+        reports["batched"] = _batched_report()
+
+    for mode, report in reports.items():
+        summary = report.summary()
+        print(f"{mode}: {summary['requests']} requests / "
+              f"{summary['wall_seconds']} s = {summary['throughput_rps']} req/s "
+              f"(sources {summary['sources']}, errors {summary['errors']})")
+        stats = summary["stats"]
+        print(f"  batches {stats['batches']} ({stats['coalesced_batches']} coalesced, "
+              f"mean size {stats['mean_batch_size']}), store hits "
+              f"{stats['store_hits']}, coalesced duplicates "
+              f"{stats['coalesced_duplicates']}, worker compiles "
+              f"{stats['worker_compiles']}, latency p50/p99 "
+              f"{stats['latency_ms'].get('p50')}/{stats['latency_ms'].get('p99')} ms")
+        if args.verify:
+            print(f"  verified against the direct pipeline: "
+                  f"{summary['mismatches']} mismatches")
+    if "naive" in reports and "batched" in reports:
+        speedup = (reports["batched"].throughput_rps
+                   / max(reports["naive"].throughput_rps, 1e-9))
+        print(f"batched vs naive throughput: {speedup:.2f}x")
+
+    if args.stats_json is not None:
+        with open(args.stats_json, "w") as fh:
+            json.dump({mode: report.summary() for mode, report in reports.items()},
+                      fh, indent=2)
+        print(f"report -> {args.stats_json}")
+
+    exit_code = 0
+    primary = reports.get("batched", reports.get("naive"))
+    if args.verify and any(report.mismatches for report in reports.values()):
+        print("FAIL: served responses diverged from the direct pipeline")
+        exit_code = 1
+    if args.expect_coalesced is not None:
+        coalesced = primary.stats["coalesced_batches"]
+        if coalesced < args.expect_coalesced:
+            print(f"FAIL: expected >= {args.expect_coalesced} coalesced batches, "
+                  f"saw {coalesced}")
+            exit_code = 1
+    if args.expect_store_hits is not None:
+        hits = primary.stats["store_hits"]
+        if hits < args.expect_store_hits:
+            print(f"FAIL: expected >= {args.expect_store_hits} store hits, saw {hits}")
+            exit_code = 1
+    return exit_code
+
+
 def _cmd_survey(args: argparse.Namespace) -> int:
     rows = []
     exit_code = 0
@@ -280,6 +582,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_diagnose(args)
     if args.command == "distributed":
         return _cmd_distributed(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "load":
+        return _cmd_load(args)
     if args.command == "survey":
         return _cmd_survey(args)
     if args.command == "properties":

@@ -40,21 +40,19 @@ protocol-vs-comparator data point.
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass
 from itertools import product
 from typing import Iterable, Sequence
 
-from ..backend import csr as csr_backend
 from ..backend.array_syndrome import ArraySyndrome
 from ..baselines import ExtendedStarDiagnoser, YangCycleDiagnoser
 from ..core.diagnosis import GeneralDiagnoser
 from ..core.faults import clustered_faults, random_faults, spread_faults
 from ..distributed import ChannelConfig, ProtocolEngine, spread_roots
-from ..networks.registry import cached_network, compiled_network
+from ..networks.registry import compiled_network
 from ..parallel import WorkerPool, spawn_seeds
-from ..parallel.pool import worker_topology
+from ..parallel.pool import compile_delta_probe, worker_network
 from ..parallel.shm import TopologyHandle
 
 __all__ = [
@@ -151,23 +149,6 @@ def _chunk_size(group_size: int, workers: int) -> int:
     return max(1, -(-group_size // (2 * workers)))
 
 
-def _worker_network(family: str, params: tuple, handle: TopologyHandle | None):
-    """Worker-side topology resolution: cheap object + zero-copy arrays.
-
-    The network object comes from the registry memo (persistent across the
-    worker's lifetime); its compiled adjacency is the shared-memory mapping
-    when a handle is given, so the worker never walks the topology.  With
-    ``handle=None`` the worker compiles locally — the pre-pool behaviour,
-    kept for the benchmark's recompilation-cost baseline.
-    """
-    network = cached_network(family, **dict(params))
-    if handle is not None and getattr(network, "_csr_adjacency", None) is None:
-        network._csr_adjacency = worker_topology(handle)
-    from ..backend.csr import compile_network
-
-    return network, compile_network(network)
-
-
 def _run_group(specs: Sequence[TrialSpec]) -> list[TrialResult]:
     """Execute all trials of one ``(family, params)`` group (serial path)."""
     first = specs[0]
@@ -185,14 +166,10 @@ def _run_trial_chunk(
     worker — the aggregate over all chunks is how ``TrialPlan.run`` proves
     its zero-recompilation claim.
     """
-    compiles_before = csr_backend.compile_count()
-    network, csr = _worker_network(family, params, handle)
+    probe = compile_delta_probe()
+    network, csr = worker_network(family, params, handle)
     results = _run_specs(network, csr, specs)
-    stats = {
-        "pid": os.getpid(),
-        "compiles": csr_backend.compile_count() - compiles_before,
-    }
-    return results, stats
+    return results, probe()
 
 
 def _run_specs(
@@ -329,14 +306,10 @@ def _run_distributed_chunk(
     specs: Sequence[DistributedTrialSpec],
 ) -> tuple[list[DistributedTrialResult], dict]:
     """Pool task: one chunk of an engine group, plus worker diagnostics."""
-    compiles_before = csr_backend.compile_count()
-    network, csr = _worker_network(family, params, handle)
+    probe = compile_delta_probe()
+    network, csr = worker_network(family, params, handle)
     results = _run_distributed_specs(network, csr, specs)
-    stats = {
-        "pid": os.getpid(),
-        "compiles": csr_backend.compile_count() - compiles_before,
-    }
-    return results, stats
+    return results, probe()
 
 
 def _run_distributed_specs(
@@ -424,8 +397,8 @@ def _run_plan_chunked(
 
     own_pool = pool is None
     pool = pool if pool is not None else WorkerPool(max_workers)
-    stats = {"chunks": 0, "worker_compiles": 0, "workers": set(),
-             "topologies_published": 0}
+    stats = {"chunks": 0, "worker_compiles": 0, "worker_pair_builds": 0,
+             "workers": set(), "topologies_published": 0}
     try:
         submissions = []
         for group in groups:
@@ -433,7 +406,10 @@ def _run_plan_chunked(
             handle = None
             if share_topology:
                 _, csr = compiled_network(first.family, **first.network_kwargs)
-                handle = pool.publish_topology(csr)
+                # Workers generate their chunks' syndromes, so ship the
+                # pair-member arrays too — the delta proves nobody rebuilds
+                # them per worker.
+                handle = pool.publish_topology(csr, include_pair_members=True)
                 stats["topologies_published"] += 1
             size = chunk_size or _chunk_size(len(group), pool.max_workers)
             for chunk in _chunked(group, size):
@@ -448,6 +424,7 @@ def _run_plan_chunked(
                 results[position] = result
             stats["chunks"] += 1
             stats["worker_compiles"] += chunk_stats["compiles"]
+            stats["worker_pair_builds"] += chunk_stats["pair_builds"]
             stats["workers"].add(chunk_stats["pid"])
     finally:
         if own_pool:

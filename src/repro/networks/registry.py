@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..backend.csr import CSRAdjacency, compile_network
+from ..service.cache import CacheStats, LRUCache
 from .arrangement import ArrangementGraph
 from .augmented_cube import AugmentedCube
 from .base import InterconnectionNetwork
@@ -35,6 +36,8 @@ __all__ = [
     "cached_network",
     "compiled_network",
     "clear_network_cache",
+    "cache_stats",
+    "set_network_cache_capacity",
     "available_families",
     "default_instances",
 ]
@@ -235,11 +238,21 @@ def create_network(family: str, **params) -> InterconnectionNetwork:
     return spec.constructor(**params)
 
 
-#: Memoized instances keyed by ``(family, sorted params)``.  Sharing the
-#: instance shares its compiled CSR adjacency (cached on the instance by
-#: :func:`repro.backend.csr.compile_network`), so a sweep of many trials over
-#: the same topology compiles it exactly once.
-_network_cache: dict[tuple[str, tuple[tuple[str, int], ...]], InterconnectionNetwork] = {}
+#: Default bound of the instance memo.  Wide enough that no sweep, test run
+#: or survey in this repository ever evicts (the registry only has 16
+#: families and a handful of sizes each), small enough that a long-running
+#: server touring many parametrisations stays bounded.
+DEFAULT_NETWORK_CACHE_CAPACITY = 64
+
+#: Memoized instances keyed by ``(family, sorted params)``, bounded LRU.
+#: Sharing the instance shares its compiled CSR adjacency (cached on the
+#: instance by :func:`repro.backend.csr.compile_network`), so a sweep of many
+#: trials over the same topology compiles it exactly once; eviction drops the
+#: instance *and* its compiled arrays, which is the point — an unbounded memo
+#: in a service process is a slow memory leak.
+_network_cache: LRUCache[tuple[str, tuple[tuple[str, int], ...]], InterconnectionNetwork] = (
+    LRUCache(DEFAULT_NETWORK_CACHE_CAPACITY)
+)
 
 
 def cached_network(family: str, **params) -> InterconnectionNetwork:
@@ -247,14 +260,13 @@ def cached_network(family: str, **params) -> InterconnectionNetwork:
 
     All callers that ask for the same instance share one object — and with it
     one compiled flat-array topology.  Network instances are immutable after
-    construction, so sharing is safe.
+    construction, so sharing is safe.  The memo is a bounded LRU (see
+    :func:`set_network_cache_capacity` and :func:`cache_stats`).
     """
     key = (family, tuple(sorted(params.items())))
-    network = _network_cache.get(key)
-    if network is None:
-        network = create_network(family, **params)
-        _network_cache[key] = network
-    return network
+    return _network_cache.get_or_create(
+        key, lambda: create_network(family, **params)
+    )
 
 
 def compiled_network(family: str, **params) -> tuple[InterconnectionNetwork, CSRAdjacency]:
@@ -266,6 +278,16 @@ def compiled_network(family: str, **params) -> tuple[InterconnectionNetwork, CSR
 def clear_network_cache() -> None:
     """Drop all memoized instances (tests; bounding long-lived processes)."""
     _network_cache.clear()
+
+
+def cache_stats() -> CacheStats:
+    """Hit/miss/eviction counters of the instance memo."""
+    return _network_cache.stats()
+
+
+def set_network_cache_capacity(capacity: int) -> None:
+    """Re-bound the instance memo (shrinking evicts least-recent now)."""
+    _network_cache.resize(capacity)
 
 
 def default_instances(size: str = "small") -> dict[str, InterconnectionNetwork]:

@@ -32,7 +32,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..backend.csr import CSRAdjacency, compile_count, compile_network
+from ..backend.csr import CSRAdjacency, compile_count, compile_network, pair_build_count
 from .shm import (
     BufferHandle,
     OwnedSegment,
@@ -44,7 +44,15 @@ from .shm import (
     publish_topology,
 )
 
-__all__ = ["WorkerPool", "worker_topology", "worker_buffer", "worker_health"]
+__all__ = [
+    "WorkerPool",
+    "adopt_worker_topology",
+    "compile_delta_probe",
+    "worker_network",
+    "worker_topology",
+    "worker_buffer",
+    "worker_health",
+]
 
 
 def default_worker_count() -> int:
@@ -105,21 +113,46 @@ class WorkerPool:
         self._topologies.clear()
 
     # ------------------------------------------------------------ publishing
-    def publish_topology(self, topology) -> TopologyHandle:
+    def publish_topology(
+        self, topology, *, include_pair_members: bool = False
+    ) -> TopologyHandle:
         """Place a compiled topology in shared memory (memoized per object).
 
         Accepts a network or a :class:`CSRAdjacency`; the same object is
         published at most once per pool, so every group of a sweep that runs
-        on the same memoized instance shares one segment.
+        on the same memoized instance shares one segment.  Asking for pair
+        members after a plain publication publishes a fresh segment that
+        includes them — the plain segment stays alive until shutdown, because
+        handles already handed to in-flight tasks must keep resolving — and
+        asking without them reuses a pair-carrying segment (a superset).
         """
         csr = compile_network(topology)
         cached = self._topologies.get(id(csr))
         if cached is not None:
-            return cached[1]
-        handle, segment = publish_topology(csr)
+            handle = cached[1]
+            if not include_pair_members or handle.num_pairs:
+                return handle
+        handle, segment = publish_topology(
+            csr, include_pair_members=include_pair_members
+        )
         self._segments[handle.name] = segment
         self._topologies[id(csr)] = (csr, handle)
         return handle
+
+    def release_topology(self, topology) -> None:
+        """Unlink a published topology and drop its memo entry.
+
+        For callers that bound their own topology working set (the diagnosis
+        service's LRU): the caller must guarantee no in-flight task still
+        carries the handle — workers that already attached keep their mapping
+        (an unlinked segment lives until the last mapping closes), but a
+        *queued* task would fail to attach a name that no longer exists.
+        Unknown topologies are ignored.
+        """
+        csr = compile_network(topology)
+        cached = self._topologies.pop(id(csr), None)
+        if cached is not None:
+            self.release(cached[1])
 
     def publish_buffer(self, data) -> BufferHandle:
         """Copy a bytes-like object into a tracked shared segment."""
@@ -161,10 +194,30 @@ class WorkerPool:
 
 
 # ----------------------------------------------------------- worker-side state
-#: Attached topologies, keyed by segment name — alive for the worker's
-#: lifetime (a topology segment is published once per sweep and shared by
-#: every task on that topology).
-_TOPOLOGY_CACHE: dict[str, CSRAdjacency] = {}
+#: Attached topologies, keyed by segment name.  Bounded LRU-style like the
+#: buffer cache below: a long-running service evicts, releases and
+#: re-publishes topologies under fresh segment names, and a worker that
+#: cached every name it ever attached would keep each superseded mapping
+#: alive forever.
+_TOPOLOGY_CACHE: "OrderedDict[str, CSRAdjacency]" = OrderedDict()
+_TOPOLOGY_CACHE_LIMIT = 8
+
+#: Evicted mappings that could not unmap yet because live views still export
+#: their buffer (typically an adopted ``_csr_adjacency`` in the worker's
+#: registry memo).  Holding them here keeps ``SharedMemory.__del__`` from
+#: racing those views at garbage collection; every later eviction retries,
+#: so each mapping is unmapped at the first eviction after its views die.
+_TOPOLOGY_RETIRED: list[shared_memory.SharedMemory] = []
+
+
+def _try_unmap(segment: shared_memory.SharedMemory) -> bool:
+    """Close an attached mapping if nothing exports its buffer any more."""
+    try:
+        segment.close()
+    except BufferError:
+        return False
+    detach(segment)  # already closed: this just drops the registry pin
+    return True
 
 #: Attached transient buffers (syndromes, membership masks), keyed by segment
 #: name.  Per-run buffers get fresh names, so the cache is bounded FIFO; the
@@ -176,12 +229,87 @@ _BUFFER_CACHE_LIMIT = 8
 
 
 def worker_topology(handle: TopologyHandle) -> CSRAdjacency:
-    """The worker's zero-copy view of a published topology (cached)."""
+    """The worker's zero-copy view of a published topology (cached, bounded)."""
     csr = _TOPOLOGY_CACHE.get(handle.name)
     if csr is None:
         csr = attach_topology(handle)
         _TOPOLOGY_CACHE[handle.name] = csr
+        while len(_TOPOLOGY_CACHE) > _TOPOLOGY_CACHE_LIMIT:
+            _, stale = _TOPOLOGY_CACHE.popitem(last=False)
+            if not _try_unmap(stale._shm):
+                _TOPOLOGY_RETIRED.append(stale._shm)
+        _TOPOLOGY_RETIRED[:] = [
+            segment for segment in _TOPOLOGY_RETIRED if not _try_unmap(segment)
+        ]
+    else:
+        _TOPOLOGY_CACHE.move_to_end(handle.name)
     return csr
+
+
+def adopt_worker_topology(network, handle: TopologyHandle | None) -> None:
+    """Give a worker-side network object the shared compiled topology.
+
+    Two gaps to cover, both proven by the pair-build/compile deltas:
+
+    * no compiled adjacency yet (pool forked before this topology was ever
+      compiled): attach the whole CSR zero-copy;
+    * a fork-*inherited* adjacency without pair members, while the handle
+      ships them (the parent compiled before the fork but built the pair
+      arrays only at publish time): graft the shared views onto the
+      inherited object, so worker-side syndrome generation still never
+      materialises them.
+
+    The grafted views stay alive through the worker's topology cache, which
+    pins the mapping for the worker's lifetime.
+    """
+    if handle is None:
+        return
+    csr = getattr(network, "_csr_adjacency", None)
+    if csr is None:
+        network._csr_adjacency = worker_topology(handle)
+    elif handle.num_pairs and csr._pair_members is None:
+        csr._pair_members = worker_topology(handle)._pair_members
+
+
+def worker_network(family: str, params, handle: TopologyHandle | None):
+    """Worker-side ``(network, csr)`` resolution shared by every pool task.
+
+    The network object comes from the registry memo (persistent across the
+    worker's lifetime); its compiled adjacency — pair members included — is
+    adopted from the shared mapping when a handle is given.  ``handle=None``
+    compiles locally, the per-worker-recompilation baseline the benchmarks
+    keep for comparison.
+    """
+    from ..networks.registry import cached_network
+
+    network = cached_network(family, **dict(params))
+    adopt_worker_topology(network, handle)
+    return network, compile_network(network)
+
+
+def compile_delta_probe() -> Callable[[], dict]:
+    """Snapshot the evidence counters; the returned thunk reports the delta.
+
+    Every pool task wraps its work in one probe::
+
+        probe = compile_delta_probe()
+        ...  # resolve + run
+        return results, probe()
+
+    so the coordinator can aggregate per-task proof that shared-memory
+    workers neither recompiled a topology nor rebuilt its pair arrays.
+    """
+    compiles_before = compile_count()
+    pair_builds_before = pair_build_count()
+
+    def stats() -> dict:
+        return {
+            "pid": os.getpid(),
+            "compiles": compile_count() - compiles_before,
+            "pair_builds": pair_build_count() - pair_builds_before,
+        }
+
+    return stats
 
 
 def worker_buffer(handle: BufferHandle) -> np.ndarray:
@@ -199,15 +327,19 @@ def worker_buffer(handle: BufferHandle) -> np.ndarray:
 
 
 def worker_health() -> dict:
-    """Worker diagnostics: pid, cache sizes and the process compile count.
+    """Worker diagnostics: pid, cache sizes and the process compile counts.
 
     ``compiles`` is the worker's :func:`repro.backend.csr.compile_count` —
     the number expected to stay at whatever the fork inherited, because
     shared-memory attachment replaces every per-worker topology walk.
+    ``pair_builds`` is the analogous
+    :func:`~repro.backend.csr.pair_build_count`: flat whenever topologies
+    arrive with their pair members shipped through shared memory.
     """
     return {
         "pid": os.getpid(),
         "topologies_attached": len(_TOPOLOGY_CACHE),
         "buffers_attached": len(_BUFFER_CACHE),
         "compiles": compile_count(),
+        "pair_builds": pair_build_count(),
     }

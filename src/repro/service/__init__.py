@@ -1,0 +1,70 @@
+"""`repro.service` — the serving layer: batched, coalesced, cached diagnosis.
+
+Everything below this package still runs one diagnosis at a time; this
+subsystem turns the paper's :class:`~repro.core.diagnosis.GeneralDiagnoser`
+into a throughput engine for *streams* of requests:
+
+* :mod:`~repro.service.requests` — :class:`DiagnosisRequest` /
+  :class:`DiagnosisResponse`, plus the canonical topology / request keys and
+  the syndrome content digest;
+* :mod:`~repro.service.cache` — the bounded :class:`LRUCache` (hit / miss /
+  eviction counters) used for the service's compiled-topology cache and for
+  the network registry's instance memo;
+* :mod:`~repro.service.store` — :class:`ResultStore`, a content-addressed
+  SQLite store keyed by ``(topology key, syndrome digest)`` so repeated
+  requests are served from disk;
+* :mod:`~repro.service.metrics` — latency / batch-size histograms, counters
+  and queue-depth tracking behind the ``stats`` endpoint;
+* :mod:`~repro.service.executor` — the batch execution core shared by the
+  in-process path and the :class:`~repro.parallel.pool.WorkerPool` task;
+* :mod:`~repro.service.service` — :class:`DiagnosisService`, the asyncio
+  front end that coalesces concurrent requests per compiled topology into
+  batched runs;
+* :mod:`~repro.service.loadgen` — the seeded closed-loop load generator
+  behind ``repro load`` and ``benchmarks/bench_service.py``.
+
+Attribute access is lazy (PEP 562): :mod:`repro.networks.registry` imports
+:mod:`repro.service.cache` for its memo, and an eager ``__init__`` here would
+re-enter the registry through :mod:`~repro.service.service` mid-import.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "CacheStats": "cache",
+    "LRUCache": "cache",
+    "DiagnosisRequest": "requests",
+    "DiagnosisResponse": "requests",
+    "request_key": "requests",
+    "topology_key": "requests",
+    "syndrome_digest": "requests",
+    "ResultStore": "store",
+    "Histogram": "metrics",
+    "ServiceMetrics": "metrics",
+    "DiagnosisService": "service",
+    "LoadSpec": "loadgen",
+    "LoadReport": "loadgen",
+    "build_client_streams": "loadgen",
+    "run_load": "loadgen",
+    "run_load_sync": "loadgen",
+    "verify_against_direct": "loadgen",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

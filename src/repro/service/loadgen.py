@@ -1,0 +1,252 @@
+"""Seeded closed-loop load generation for the diagnosis service.
+
+``N`` simulated clients each issue ``M`` requests back to back (closed loop:
+a client waits for its answer before sending the next), drawing topologies
+and syndrome seeds from a deterministic per-client stream — the same
+``SeedSequence``-spawned derivation the sweep layer uses, so a load run is
+reproducible request for request at any concurrency.  A bounded seed pool
+makes repeats a *feature*: the same ``(topology, seed)`` pair recurring
+across clients is exactly what exercises in-flight coalescing and the
+persistent result store.
+
+:func:`run_load` drives an existing service; :func:`run_load_sync` is the
+one-call form the CLI and ``benchmarks/bench_service.py`` use, building the
+service (batched or naive), running the load under ``asyncio.run`` and
+returning the :class:`LoadReport`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..parallel.seeding import spawn_seeds
+from .requests import DiagnosisRequest, DiagnosisResponse
+from .service import DiagnosisService
+
+__all__ = ["LoadSpec", "LoadReport", "build_client_streams", "run_load", "run_load_sync"]
+
+#: The benchmark's default request mix (the acceptance workload): two
+#: hypercube sizes and a permutation network, so batches of different
+#: shapes interleave.
+DEFAULT_MIX: tuple[tuple[str, dict], ...] = (
+    ("hypercube", {"dimension": 12}),
+    ("hypercube", {"dimension": 14}),
+    ("star", {"n": 7}),
+)
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load scenario (deterministic given its seed)."""
+
+    instances: tuple[tuple[str, tuple[tuple[str, int], ...]], ...]
+    clients: int = 4
+    requests_per_client: int = 8
+    seed: int = 0
+    seed_pool: int = 8  # distinct syndrome seeds per topology (repeats exercise dedup)
+    placement: str = "random"
+    behavior: str = "random"
+    fault_count: int | None = None
+
+    @classmethod
+    def from_mix(
+        cls,
+        mix=DEFAULT_MIX,
+        *,
+        clients: int = 4,
+        requests_per_client: int = 8,
+        seed: int = 0,
+        seed_pool: int = 8,
+        placement: str = "random",
+        behavior: str = "random",
+        fault_count: int | None = None,
+    ) -> "LoadSpec":
+        if clients < 1:
+            raise ValueError("clients must be at least 1")
+        if requests_per_client < 1:
+            raise ValueError("requests must be at least 1")
+        if seed_pool < 1:
+            raise ValueError("seed_pool must be at least 1")
+        instances = tuple(
+            (family, tuple(sorted(dict(params).items()))) for family, params in mix
+        )
+        if not instances:
+            raise ValueError("the request mix must name at least one instance")
+        return cls(
+            instances=instances,
+            clients=clients,
+            requests_per_client=requests_per_client,
+            seed=seed,
+            seed_pool=seed_pool,
+            placement=placement,
+            behavior=behavior,
+            fault_count=fault_count,
+        )
+
+    @property
+    def total_requests(self) -> int:
+        return self.clients * self.requests_per_client
+
+
+def build_client_streams(spec: LoadSpec) -> list[list[DiagnosisRequest]]:
+    """Every client's request sequence (deterministic, client-count stable).
+
+    Client ``i``'s stream derives from ``spawn_seeds(spec.seed)[i]``, so
+    adding clients never reshuffles existing ones.
+    """
+    streams: list[list[DiagnosisRequest]] = []
+    for client_seed in spawn_seeds(spec.seed, spec.clients):
+        rng = np.random.default_rng(client_seed)
+        stream = []
+        for _ in range(spec.requests_per_client):
+            family, params = spec.instances[int(rng.integers(len(spec.instances)))]
+            stream.append(
+                DiagnosisRequest(
+                    family=family,
+                    params=params,
+                    placement=spec.placement,
+                    fault_count=spec.fault_count,
+                    behavior=spec.behavior,
+                    seed=int(rng.integers(spec.seed_pool)),
+                )
+            )
+        streams.append(stream)
+    return streams
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run."""
+
+    clients: int
+    requests: int
+    wall_seconds: float
+    responses: list[DiagnosisResponse] = field(repr=False, default_factory=list)
+    stats: dict = field(default_factory=dict)
+    mismatches: int = 0  # populated by verified runs only
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for response in self.responses if not response.ok)
+
+    def source_counts(self) -> dict[str, int]:
+        counts = {"computed": 0, "store": 0, "coalesced": 0}
+        for response in self.responses:
+            counts[response.source] += 1
+        return counts
+
+    def summary(self) -> dict:
+        """The JSON block the CLI prints and the benchmark records."""
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "sources": self.source_counts(),
+            "errors": self.errors,
+            "mismatches": self.mismatches,
+            "stats": self.stats,
+        }
+
+
+async def run_load(service: DiagnosisService, spec: LoadSpec) -> LoadReport:
+    """Drive ``spec`` against an existing service (closed-loop clients)."""
+    streams = build_client_streams(spec)
+    start = time.perf_counter()
+    per_client = await asyncio.gather(
+        *(service.serve_sequence(stream) for stream in streams)
+    )
+    wall = time.perf_counter() - start
+    responses = [response for client in per_client for response in client]
+    return LoadReport(
+        clients=spec.clients,
+        requests=len(responses),
+        wall_seconds=wall,
+        responses=responses,
+        stats=service.stats(),
+    )
+
+
+def verify_against_direct(spec: LoadSpec, report: LoadReport) -> int:
+    """Check every served answer against the plain pipeline.
+
+    Distinct requests are verified once (the stream repeats by design);
+    returns — and records on the report — the number of mismatching
+    responses.  A mismatch means the serving layer changed an answer, which
+    the differential suite treats as a hard failure.
+    """
+    from .executor import resolve_topology, run_direct
+    from .requests import request_key
+
+    expected: dict[str, DiagnosisResponse] = {}
+    topologies: dict[str, tuple] = {}
+    requests = [r for stream in build_client_streams(spec) for r in stream]
+    mismatches = 0
+    for request, response in zip(requests, report.responses):
+        key = request_key(request)
+        if key not in expected:
+            topo = request.topology_key
+            if topo not in topologies:
+                topologies[topo] = resolve_topology(
+                    request.family, request.network_kwargs
+                )
+            network, csr = topologies[topo]
+            expected[key] = run_direct(request, network=network, csr=csr)
+        reference = expected[key]
+        if (response.faulty, response.healthy_root, response.lookups,
+                response.error) != (
+                reference.faulty, reference.healthy_root, reference.lookups,
+                reference.error):
+            mismatches += 1
+    report.mismatches = mismatches
+    return mismatches
+
+
+def run_load_sync(
+    spec: LoadSpec,
+    *,
+    naive: bool = False,
+    pool=None,
+    store=None,
+    topology_cache_capacity: int | None = None,
+    max_batch_size: int = 64,
+    batch_delay: float = 0.002,
+    verify: bool = False,
+) -> LoadReport:
+    """Build a service for ``spec``, run the load, and return the report.
+
+    ``naive=True`` configures the one-at-a-time baseline: no coalescing, no
+    topology cache, no store — every request is served from scratch, the way
+    a fresh CLI invocation would.
+    """
+    if naive:
+        service = DiagnosisService(
+            pool=pool, coalesce=False, topology_cache_capacity=0, store=None,
+        )
+    else:
+        capacity = 16 if topology_cache_capacity is None else topology_cache_capacity
+        service = DiagnosisService(
+            pool=pool,
+            coalesce=True,
+            max_batch_size=max_batch_size,
+            batch_delay=batch_delay,
+            topology_cache_capacity=capacity,
+            store=store,
+        )
+
+    async def _run() -> LoadReport:
+        async with service:
+            return await run_load(service, spec)
+
+    report = asyncio.run(_run())
+    if verify:
+        verify_against_direct(spec, report)
+    return report

@@ -1,0 +1,163 @@
+"""Service telemetry: histograms, counters and the ``stats`` snapshot.
+
+Everything the service wants to know about itself in production — how long
+requests wait, how big coalesced batches get, how deep the queue runs, how
+often the caches and the result store answer — accumulates here and comes
+out of :meth:`ServiceMetrics.snapshot`, the dict behind the ``stats``
+endpoint (``DiagnosisService.stats()`` and the CLI's ``--stats-json``).
+
+:class:`Histogram` keeps exact counts in geometric buckets, so percentile
+estimates need no stored samples and the memory footprint is a few dozen
+integers however many requests pass through.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Histogram", "ServiceMetrics"]
+
+
+class Histogram:
+    """A geometric-bucket histogram with exact count/sum/min/max.
+
+    Buckets grow by ``growth`` per step from ``smallest`` (values at or
+    below ``smallest`` share the first bucket), giving ~9% relative error
+    on quantile estimates at the default growth — plenty for latency and
+    batch-size telemetry.
+    """
+
+    def __init__(self, *, smallest: float = 1e-5, growth: float = 1.2) -> None:
+        if smallest <= 0 or growth <= 1:
+            raise ValueError("smallest must be positive and growth > 1")
+        self.smallest = smallest
+        self.growth = growth
+        self._counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def _bucket(self, value: float) -> int:
+        if value <= self.smallest:
+            return 0
+        return 1 + int(math.log(value / self.smallest) / math.log(self.growth))
+
+    def _bucket_upper(self, index: int) -> float:
+        return self.smallest * self.growth ** index
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        index = self._bucket(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile observation."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be within [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = q * (self.count - 1)
+        seen = 0
+        for index in sorted(self._counts):
+            seen += self._counts[index]
+            if seen > rank:
+                upper = self._bucket_upper(index)
+                # Clamp to observed extremes: the top bucket's upper bound can
+                # overshoot max, and bucket 0 undershoots a min above smallest.
+                return max(min(upper, self.max), self.min)
+        return self.max  # pragma: no cover - unreachable (seen ends at count)
+
+    def summary(self, *, scale: float = 1.0, digits: int = 3) -> dict:
+        """Snapshot dict; ``scale`` converts units (e.g. 1e3 for s -> ms)."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": round(self.mean * scale, digits),
+            "p50": round(self.quantile(0.50) * scale, digits),
+            "p90": round(self.quantile(0.90) * scale, digits),
+            "p99": round(self.quantile(0.99) * scale, digits),
+            "min": round(self.min * scale, digits),
+            "max": round(self.max * scale, digits),
+        }
+
+
+class ServiceMetrics:
+    """All counters and histograms of one :class:`DiagnosisService`."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.computed = 0
+        self.store_hits = 0
+        self.coalesced_duplicates = 0
+        self.errors = 0
+        self.batches = 0
+        self.coalesced_batches = 0  # batches serving >1 request
+        self.worker_compiles = 0
+        self.worker_pair_builds = 0
+        #: end-to-end seconds from submit to response, per request
+        self.latency = Histogram()
+        #: seconds a batch's requests waited before dispatch
+        self.queue_wait = Histogram()
+        #: requests per executed batch
+        self.batch_size = Histogram(smallest=1.0, growth=1.5)
+        #: pending requests observed at each enqueue (depth *before* adding)
+        self.queue_depth = Histogram(smallest=1.0, growth=1.5)
+
+    # ------------------------------------------------------------- recorders
+    def record_enqueue(self, depth: int) -> None:
+        self.requests += 1
+        self.queue_depth.record(depth)
+
+    def record_batch(self, size: int, *, compiles: int, pair_builds: int) -> None:
+        self.batches += 1
+        if size > 1:
+            self.coalesced_batches += 1
+        self.batch_size.record(size)
+        self.worker_compiles += compiles
+        self.worker_pair_builds += pair_builds
+
+    def record_response(self, source: str, latency_seconds: float, *,
+                        ok: bool = True) -> None:
+        self.latency.record(latency_seconds)
+        if source == "computed":
+            self.computed += 1
+        elif source == "store":
+            self.store_hits += 1
+        elif source == "coalesced":
+            self.coalesced_duplicates += 1
+        else:
+            raise ValueError(f"unknown response source {source!r}")
+        if not ok:
+            self.errors += 1
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self) -> dict:
+        """The ``stats`` endpoint body (plain JSON-serialisable dict)."""
+        return {
+            "requests": self.requests,
+            "computed": self.computed,
+            "store_hits": self.store_hits,
+            "coalesced_duplicates": self.coalesced_duplicates,
+            "errors": self.errors,
+            "batches": self.batches,
+            "coalesced_batches": self.coalesced_batches,
+            "mean_batch_size": round(self.batch_size.mean, 3),
+            "worker_compiles": self.worker_compiles,
+            "worker_pair_builds": self.worker_pair_builds,
+            "latency_ms": self.latency.summary(scale=1e3),
+            "queue_wait_ms": self.queue_wait.summary(scale=1e3),
+            "batch_size": self.batch_size.summary(digits=1),
+            "queue_depth": self.queue_depth.summary(digits=1),
+        }

@@ -1,0 +1,212 @@
+"""Request/response model of the diagnosis service.
+
+A :class:`DiagnosisRequest` names a topology (family + constructor params)
+and a syndrome — either *seeded* (a fault placement, count, faulty-tester
+behaviour and seed, from which the service regenerates the exact
+:class:`~repro.backend.array_syndrome.ArraySyndrome` the direct pipeline
+would build) or *explicit* (the raw flat syndrome buffer itself).  Both
+forms are plain picklable primitives, so requests cross process boundaries
+into :class:`~repro.parallel.pool.WorkerPool` workers unchanged.
+
+Three canonical keys drive the serving layer:
+
+* :func:`topology_key` — what coalescing groups by: requests sharing it run
+  against one compiled topology in one batch;
+* :func:`syndrome_digest` — SHA-256 of the flat syndrome buffer: the
+  content address under which the result store files an answer;
+* :func:`request_key` — the duplicate-suppression key: identical requests
+  share one in-flight computation and one stored result.
+
+Responses are bit-identical to a direct
+:meth:`~repro.core.diagnosis.GeneralDiagnoser.diagnose` call on the same
+inputs — the accusation set, healthy root and lookup count all match, which
+``tests/differential`` pins across every registry family.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "DiagnosisRequest",
+    "DiagnosisResponse",
+    "topology_key",
+    "request_key",
+    "syndrome_digest",
+]
+
+
+def topology_key(family: str, params) -> str:
+    """Canonical ``family[name=value,...]`` key of one compiled topology."""
+    items = sorted(dict(params).items())
+    inner = ",".join(f"{name}={value}" for name, value in items)
+    return f"{family}[{inner}]"
+
+
+def syndrome_digest(buffer) -> str:
+    """SHA-256 content address of a flat syndrome buffer."""
+    return hashlib.sha256(bytes(buffer)).hexdigest()
+
+
+@dataclass(frozen=True)
+class DiagnosisRequest:
+    """One diagnosis to perform (picklable primitives only).
+
+    ``syndrome_bytes`` switches the request to explicit-syndrome form: the
+    service diagnoses that exact buffer and the seeded fields
+    (``placement``/``fault_count``/``behavior``/``seed``) are ignored.
+    """
+
+    family: str
+    params: tuple[tuple[str, int], ...]
+    placement: str = "random"
+    fault_count: int | None = None  # None -> the network's diagnosability
+    behavior: str = "random"
+    seed: int = 0
+    syndrome_bytes: bytes | None = field(default=None, repr=False)
+
+    @classmethod
+    def seeded(
+        cls,
+        family: str,
+        params: dict,
+        *,
+        placement: str = "random",
+        fault_count: int | None = None,
+        behavior: str = "random",
+        seed: int = 0,
+    ) -> "DiagnosisRequest":
+        return cls(
+            family=family,
+            params=tuple(sorted(params.items())),
+            placement=placement,
+            fault_count=fault_count,
+            behavior=behavior,
+            seed=seed,
+        )
+
+    @classmethod
+    def from_syndrome(cls, family: str, params: dict, syndrome) -> "DiagnosisRequest":
+        """An explicit-syndrome request from an ``ArraySyndrome`` (or buffer)."""
+        buffer = getattr(syndrome, "buffer", syndrome)
+        return cls(
+            family=family,
+            params=tuple(sorted(params.items())),
+            syndrome_bytes=bytes(buffer),
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DiagnosisRequest":
+        """Parse the JSONL form used by ``repro serve --requests``."""
+        known = {"family", "params", "placement", "fault_count", "behavior", "seed"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        if "family" not in payload:
+            raise ValueError("request needs a 'family' field")
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise ValueError("'params' must be an object of name -> integer")
+        for name, value in params.items():
+            # bool is an int subclass; reject it explicitly.
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"param {name!r} must be an integer, got {value!r}"
+                )
+        return cls.seeded(
+            payload["family"],
+            dict(params),
+            placement=payload.get("placement", "random"),
+            fault_count=payload.get("fault_count"),
+            behavior=payload.get("behavior", "random"),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    # ------------------------------------------------------------------- keys
+    @property
+    def network_kwargs(self) -> dict[str, int]:
+        return dict(self.params)
+
+    @property
+    def topology_key(self) -> str:
+        return topology_key(self.family, self.params)
+
+    @property
+    def is_explicit(self) -> bool:
+        return self.syndrome_bytes is not None
+
+    @property
+    def key(self) -> str:
+        """Duplicate-suppression key (see :func:`request_key`)."""
+        return request_key(self)
+
+    def describe(self) -> str:
+        if self.is_explicit:
+            return f"{self.topology_key} syndrome@{syndrome_digest(self.syndrome_bytes)[:12]}"
+        count = "delta" if self.fault_count is None else str(self.fault_count)
+        return (f"{self.topology_key} {self.placement}/{count} "
+                f"{self.behavior} seed={self.seed}")
+
+
+def request_key(request: DiagnosisRequest) -> str:
+    """The key under which identical requests coalesce and dedup.
+
+    Seeded requests key on their generation parameters (no topology work
+    needed to recognise a repeat); explicit-syndrome requests key on the
+    content digest of their buffer.
+    """
+    if request.is_explicit:
+        return f"{request.topology_key}|sha256:{syndrome_digest(request.syndrome_bytes)}"
+    return (f"{request.topology_key}|{request.placement}|{request.fault_count}"
+            f"|{request.behavior}|{request.seed}")
+
+
+@dataclass(frozen=True)
+class DiagnosisResponse:
+    """Outcome of one served request (picklable / JSON-serialisable).
+
+    ``source`` records how the answer was produced: ``"computed"`` (ran in a
+    batch), ``"store"`` (served from the persistent result store) or
+    ``"coalesced"`` (shared an in-flight computation with an identical
+    concurrent request).  ``error`` carries the stringified
+    :class:`~repro.core.diagnosis.DiagnosisError` when the instance violates
+    Theorem 1's hypotheses — exactly when the direct pipeline raises.
+    """
+
+    topology_key: str
+    syndrome_digest: str
+    faulty: tuple[int, ...]
+    healthy_root: int | None
+    lookups: int
+    num_probes: int
+    partition_level: int | None
+    num_faults_injected: int | None = None
+    error: str | None = None
+    source: str = "computed"
+    batch_size: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def faulty_set(self) -> frozenset[int]:
+        return frozenset(self.faulty)
+
+    # ------------------------------------------------------------ store codec
+    def to_payload(self) -> str:
+        """JSON payload stored under ``(topology_key, syndrome_digest)``."""
+        record = asdict(self)
+        # Store only what re-serving needs; source/batch/latency are per-serve.
+        for transient in ("source", "batch_size", "elapsed_seconds"):
+            record.pop(transient)
+        return json.dumps(record, sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: str) -> "DiagnosisResponse":
+        record = json.loads(payload)
+        record["faulty"] = tuple(record["faulty"])
+        return cls(source="store", **record)

@@ -1,0 +1,158 @@
+"""Persistent, content-addressed result store.
+
+Diagnosis answers are a pure function of ``(topology, syndrome)`` — the
+algorithm is deterministic and the service regenerates seeded syndromes
+bit-identically — so results are filed under the content address
+``(topology key, SHA-256 of the flat syndrome buffer)`` in a small SQLite
+database.  A second table indexes canonical *request keys*
+(:func:`~repro.service.requests.request_key`) onto those addresses, so a
+repeated seeded request is recognised and served from disk **without**
+building its topology or regenerating its syndrome; two different request
+forms that hash to the same syndrome dedup onto one stored row.
+
+SQLite is the storage engine because it is in the standard library, it is
+crash-safe, and a service restart keeps its accumulated answers — the store
+is the only part of the serving layer that outlives the process.  All access
+happens from the service's event-loop thread; the store is not a
+multi-writer database.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+from .requests import DiagnosisRequest, DiagnosisResponse, request_key
+
+__all__ = ["ResultStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    topology_key    TEXT NOT NULL,
+    syndrome_digest TEXT NOT NULL,
+    payload         TEXT NOT NULL,
+    PRIMARY KEY (topology_key, syndrome_digest)
+);
+CREATE TABLE IF NOT EXISTS request_index (
+    request_key     TEXT PRIMARY KEY,
+    topology_key    TEXT NOT NULL,
+    syndrome_digest TEXT NOT NULL
+);
+"""
+
+
+class ResultStore:
+    """SQLite-backed content-addressed store of diagnosis responses.
+
+    ``path`` may be a filesystem path (persists across service restarts) or
+    ``":memory:"`` for an ephemeral store with identical semantics (tests,
+    one-shot load runs).
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.dedup_writes = 0
+
+    # ----------------------------------------------------------------- writes
+    def put(self, request: DiagnosisRequest, response: DiagnosisResponse) -> None:
+        """File a computed response under its content address (idempotent).
+
+        Failed diagnoses are stored too — the error is as deterministic as
+        the answer, and re-serving it from disk skips re-running a doomed
+        probe search.
+        """
+        self.put_many([(request, response)])
+
+    def put_many(
+        self, pairs: list[tuple[DiagnosisRequest, DiagnosisResponse]]
+    ) -> None:
+        """File a whole batch in **one** transaction.
+
+        The service stores per batch, not per response: a disk-backed store
+        then costs one commit (one fsync-class stall on the event loop) per
+        dispatched batch instead of one per request.
+
+        Responses without a syndrome digest are skipped: a request that
+        failed before its syndrome existed (bad explicit buffer, impossible
+        fault count) has no content address, and filing every such failure
+        under the empty digest would make them collide onto one row.
+        """
+        for request, response in pairs:
+            if not response.syndrome_digest:
+                continue
+            cursor = self._conn.execute(
+                "INSERT OR IGNORE INTO results "
+                "(topology_key, syndrome_digest, payload) VALUES (?, ?, ?)",
+                (response.topology_key, response.syndrome_digest,
+                 response.to_payload()),
+            )
+            if cursor.rowcount:
+                self.writes += 1
+            else:
+                self.dedup_writes += 1
+            self._conn.execute(
+                "INSERT OR REPLACE INTO request_index "
+                "(request_key, topology_key, syndrome_digest) VALUES (?, ?, ?)",
+                (request_key(request), response.topology_key,
+                 response.syndrome_digest),
+            )
+        self._conn.commit()
+
+    # ---------------------------------------------------------------- lookups
+    def get(self, request: DiagnosisRequest) -> DiagnosisResponse | None:
+        """The stored response for a request, or ``None`` (counts hit/miss)."""
+        row = self._conn.execute(
+            "SELECT r.payload FROM request_index i "
+            "JOIN results r ON r.topology_key = i.topology_key "
+            "AND r.syndrome_digest = i.syndrome_digest "
+            "WHERE i.request_key = ?",
+            (request_key(request),),
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return DiagnosisResponse.from_payload(row[0])
+
+    def get_by_digest(self, topology_key: str, digest: str) -> DiagnosisResponse | None:
+        """Content-address lookup (no hit/miss accounting — internal probes)."""
+        row = self._conn.execute(
+            "SELECT payload FROM results WHERE topology_key = ? AND syndrome_digest = ?",
+            (topology_key, digest),
+        ).fetchone()
+        return None if row is None else DiagnosisResponse.from_payload(row[0])
+
+    # ------------------------------------------------------------- management
+    def __len__(self) -> int:
+        """Number of distinct stored results."""
+        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def request_count(self) -> int:
+        """Number of indexed request keys (>= len: many keys, one result)."""
+        return self._conn.execute("SELECT COUNT(*) FROM request_index").fetchone()[0]
+
+    def stats(self) -> dict:
+        return {
+            "path": self.path,
+            "results": len(self),
+            "request_keys": self.request_count(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "dedup_writes": self.dedup_writes,
+        }
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

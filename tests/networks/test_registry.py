@@ -59,6 +59,68 @@ class TestRegistry:
                 assert "extension" in spec.paper_theorem
 
 
+class TestBoundedNetworkCache:
+    """The registry memo is the service's bounded LRU (no unbounded growth)."""
+
+    def setup_method(self):
+        from repro.networks.registry import clear_network_cache
+
+        clear_network_cache()
+
+    def teardown_method(self):
+        from repro.networks.registry import (
+            DEFAULT_NETWORK_CACHE_CAPACITY,
+            clear_network_cache,
+            set_network_cache_capacity,
+        )
+
+        set_network_cache_capacity(DEFAULT_NETWORK_CACHE_CAPACITY)
+        clear_network_cache()
+
+    def test_cached_network_shares_one_instance(self):
+        from repro.networks.registry import cached_network
+
+        first = cached_network("hypercube", dimension=5)
+        second = cached_network("hypercube", dimension=5)
+        assert first is second
+
+    def test_cache_stats_accessor(self):
+        from repro.networks.registry import cache_stats, cached_network
+
+        before = cache_stats()
+        cached_network("hypercube", dimension=5)
+        cached_network("hypercube", dimension=5)
+        after = cache_stats()
+        assert after.hits - before.hits == 1
+        assert after.misses - before.misses == 1
+        assert after.capacity >= 1
+
+    def test_capacity_bound_evicts_least_recent(self):
+        from repro.networks.registry import (
+            cache_stats,
+            cached_network,
+            set_network_cache_capacity,
+        )
+
+        set_network_cache_capacity(2)
+        q5 = cached_network("hypercube", dimension=5)
+        cached_network("star", n=5)
+        cached_network("hypercube", dimension=5)  # refresh: star becomes LRU
+        cached_network("pancake", n=4)  # evicts star
+        evictions_before = cache_stats().evictions
+        assert cached_network("hypercube", dimension=5) is q5  # survived
+        assert cache_stats().evictions == evictions_before
+        assert cache_stats().size == 2
+
+    def test_clear_network_cache_semantics_preserved(self):
+        from repro.networks.registry import cached_network, clear_network_cache
+
+        first = cached_network("hypercube", dimension=5)
+        clear_network_cache()
+        second = cached_network("hypercube", dimension=5)
+        assert first is not second  # a cleared memo rebuilds from scratch
+
+
 class TestPropertyChecks:
     def test_theorem1_preconditions_on_small_families(self, tiny_network):
         compute = tiny_network.num_nodes <= 256

@@ -41,6 +41,9 @@ class TestChunkedTrialPlan:
         stats = two_cube_plan.last_run_stats
         assert stats is not None
         assert stats["worker_compiles"] == 0
+        # Pair members ship through shared memory with the topology, so the
+        # workers' syndrome generation never rebuilds them either.
+        assert stats["worker_pair_builds"] == 0
         assert stats["topologies_published"] == 2
         assert stats["chunks"] >= 2
 
@@ -84,6 +87,109 @@ class TestChunkedDistributedPlan:
         pooled = _norm(plan.run(pool=pool, chunk_size=1))
         assert pooled == serial
         assert plan.last_run_stats["worker_compiles"] == 0
+
+
+class TestPairMemberShipping:
+    def test_fresh_workers_attach_pair_members_without_building(self):
+        """A pool forked before any compile still never builds pair arrays.
+
+        This is the case shared pair members exist for: the worker cannot
+        have inherited them through fork, so a zero delta proves they came
+        out of the shared segment.
+        """
+        plan = TrialPlan.from_factors(
+            [("Q_6", "hypercube", {"dimension": 6})], seeds=(11, 12),
+        )
+        with WorkerPool(max_workers=2) as fresh_pool:
+            # Fork the workers before the coordinator compiles anything, so
+            # nothing can be inherited.
+            fresh_pool.submit(pow, 2, 2).result()
+            plan.run(pool=fresh_pool)
+        assert plan.last_run_stats["worker_compiles"] == 0
+        assert plan.last_run_stats["worker_pair_builds"] == 0
+
+    def test_worker_topology_cache_is_bounded(self):
+        """Re-published topologies must not pin one mapping per name forever."""
+        from repro.backend.csr import compile_network
+        from repro.networks.registry import create_network
+        from repro.parallel import pool as pool_module
+        from repro.parallel.shm import detach, publish_topology
+
+        csr = compile_network(create_network("hypercube", dimension=5))
+        cache = pool_module._TOPOLOGY_CACHE
+        known = set(cache)
+        segments = []
+        try:
+            # Each publish mints a fresh segment name — the service's
+            # evict/release/re-publish cycle seen from the worker side.
+            for _ in range(pool_module._TOPOLOGY_CACHE_LIMIT + 3):
+                handle, segment = publish_topology(csr)
+                segments.append(segment)
+                attached = pool_module.worker_topology(handle)
+                assert attached.num_nodes == csr.num_nodes
+                attached = None  # drop our views so eviction can unmap
+            assert len(cache) <= pool_module._TOPOLOGY_CACHE_LIMIT
+            # Evicted mappings either unmapped on the spot or await their
+            # views' death in the retired list; none are silently pinned.
+            assert len(pool_module._TOPOLOGY_RETIRED) <= 1
+        finally:
+            for name in [n for n in cache if n not in known]:
+                detach(cache.pop(name)._shm)
+            pool_module._TOPOLOGY_RETIRED[:] = [
+                s for s in pool_module._TOPOLOGY_RETIRED
+                if not pool_module._try_unmap(s)
+            ]
+            for segment in segments:
+                segment.close()
+
+    def test_worker_health_reports_pair_builds(self, pool):
+        for report in pool.health():
+            assert "pair_builds" in report
+            assert report["pair_builds"] >= 0
+
+    def test_publish_upgrades_to_pair_members(self):
+        from repro.backend.csr import compile_network
+        from repro.networks.registry import create_network
+
+        from multiprocessing import shared_memory
+
+        def exists(name):
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                return False
+            segment.close()
+            return True
+
+        csr = compile_network(create_network("hypercube", dimension=6))
+        with WorkerPool(max_workers=1) as own_pool:
+            plain = own_pool.publish_topology(csr)
+            assert plain.num_pairs == 0
+            upgraded = own_pool.publish_topology(csr, include_pair_members=True)
+            assert upgraded.num_pairs == csr.num_pairs
+            assert upgraded.name != plain.name
+            # The plain segment must survive the upgrade: tasks already
+            # queued with its handle still have to attach it.
+            assert exists(plain.name)
+            # A pair-carrying segment satisfies later plain requests (superset).
+            assert own_pool.publish_topology(csr) is upgraded
+        assert not exists(plain.name) and not exists(upgraded.name)
+
+    def test_release_topology_drops_segment_and_memo(self):
+        from multiprocessing import shared_memory
+
+        from repro.backend.csr import compile_network
+        from repro.networks.registry import create_network
+
+        csr = compile_network(create_network("hypercube", dimension=5))
+        with WorkerPool(max_workers=1) as own_pool:
+            handle = own_pool.publish_topology(csr, include_pair_members=True)
+            own_pool.release_topology(csr)
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=handle.name)
+            own_pool.release_topology(csr)  # unknown now: ignored
+            # A fresh publish after release mints a new segment.
+            assert own_pool.publish_topology(csr).name != handle.name
 
 
 class TestPoolBasics:

@@ -1,0 +1,115 @@
+"""LRU cache semantics: bounding, recency, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import LRUCache
+
+
+class TestLookups:
+    def test_get_or_create_runs_factory_once(self):
+        cache = LRUCache(4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_create("k", lambda: calls.append(1) or "v")
+        assert value == "v"
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (2, 1)
+
+    def test_get_returns_default_on_miss(self):
+        cache = LRUCache(2)
+        assert cache.get("absent") is None
+        assert cache.get("absent", 7) == 7
+        assert cache.stats().misses == 2
+
+    def test_contains_does_not_touch_counters_or_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert "a" in cache and "c" not in cache
+        assert cache.stats().hits == 0 and cache.stats().misses == 0
+        cache.put("c", 3)  # "a" is still the LRU entry: contains didn't refresh
+        assert "a" not in cache
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh: "b" becomes least recent
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats().evictions == 1
+
+    def test_capacity_zero_retains_nothing(self):
+        cache = LRUCache(0)
+        calls = []
+        cache.get_or_create("k", lambda: calls.append(1) or "v")
+        cache.get_or_create("k", lambda: calls.append(1) or "v")
+        assert len(calls) == 2  # every lookup misses; the factory reruns
+        assert len(cache) == 0
+        assert cache.stats().misses == 2
+
+    def test_capacity_zero_still_fires_on_evict(self):
+        """Resource owners must see every value let go, even never-stored ones."""
+        dropped = []
+        cache = LRUCache(0, on_evict=lambda key, value: dropped.append(value))
+        cache.put("k", "v")
+        assert dropped == ["v"]
+        assert cache.stats().evictions == 1
+
+    def test_resize_shrinks_immediately(self):
+        cache = LRUCache(4)
+        for key in "abcd":
+            cache.put(key, key)
+        cache.resize(2)
+        assert len(cache) == 2
+        assert list(cache) == ["c", "d"]  # least-recent evicted first
+        assert cache.stats().evictions == 2
+        cache.resize(0)
+        assert len(cache) == 0
+        assert cache.stats().evictions == 4
+
+    def test_on_evict_fires_for_capacity_evictions_only(self):
+        evicted = []
+        cache = LRUCache(2, on_evict=lambda key, value: evicted.append((key, value)))
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert evicted == [("a", 1)]
+        cache.resize(1)
+        assert evicted == [("a", 1), ("b", 2)]
+        cache.resize(0)
+        assert evicted == [("a", 1), ("b", 2), ("c", 3)]
+        cache.resize(2)
+        cache.put("d", 4)
+        cache.clear()  # clear never fires the hook
+        assert evicted == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = LRUCache(2)
+        assert cache.stats().hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats().hit_rate == 0.5
+        assert cache.stats().as_dict()["hit_rate"] == 0.5
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+        with pytest.raises(ValueError):
+            LRUCache(2).resize(-1)

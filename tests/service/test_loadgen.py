@@ -1,0 +1,80 @@
+"""Load generator: determinism, closed-loop accounting, verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import LoadSpec, ResultStore, build_client_streams, run_load_sync
+
+MIX = (("hypercube", {"dimension": 6}), ("star", {"n": 5}))
+
+
+def _spec(**kwargs) -> LoadSpec:
+    defaults = dict(clients=3, requests_per_client=4, seed=0, seed_pool=3)
+    defaults.update(kwargs)
+    return LoadSpec.from_mix(MIX, **defaults)
+
+
+class TestStreams:
+    def test_streams_are_deterministic(self):
+        assert build_client_streams(_spec()) == build_client_streams(_spec())
+
+    def test_adding_clients_never_reshuffles_existing_ones(self):
+        three = build_client_streams(_spec(clients=3))
+        five = build_client_streams(_spec(clients=5))
+        assert five[:3] == three
+
+    def test_stream_shape(self):
+        streams = build_client_streams(_spec())
+        assert len(streams) == 3
+        assert all(len(stream) == 4 for stream in streams)
+        families = {request.family for stream in streams for request in stream}
+        assert families <= {"hypercube", "star"}
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="clients"):
+            LoadSpec.from_mix(MIX, clients=0)
+        with pytest.raises(ValueError, match="requests"):
+            LoadSpec.from_mix(MIX, requests_per_client=0)
+        with pytest.raises(ValueError, match="seed_pool"):
+            LoadSpec.from_mix(MIX, seed_pool=0)
+        with pytest.raises(ValueError, match="at least one instance"):
+            LoadSpec.from_mix([])
+
+
+class TestRuns:
+    def test_batched_run_answers_everything(self):
+        report = run_load_sync(_spec(), store=ResultStore(), verify=True)
+        assert report.requests == 12
+        assert report.errors == 0
+        assert report.mismatches == 0
+        assert report.throughput_rps > 0
+        sources = report.source_counts()
+        assert sum(sources.values()) == 12
+        # seed_pool=3 over 12 requests guarantees repeats: something must be
+        # deduplicated (from the store or an in-flight computation).
+        assert sources["store"] + sources["coalesced"] > 0
+
+    def test_naive_run_computes_every_request(self):
+        report = run_load_sync(_spec(), naive=True, verify=True)
+        assert report.source_counts() == {"computed": 12, "store": 0, "coalesced": 0}
+        assert report.mismatches == 0
+        assert report.stats["coalesced_batches"] == 0
+
+    def test_naive_and_batched_agree_answer_for_answer(self):
+        batched = run_load_sync(_spec(), store=ResultStore())
+        naive = run_load_sync(_spec(), naive=True)
+        assert [r.faulty for r in batched.responses] == [
+            r.faulty for r in naive.responses
+        ]
+        assert [r.lookups for r in batched.responses] == [
+            r.lookups for r in naive.responses
+        ]
+
+    def test_summary_shape(self):
+        report = run_load_sync(_spec())
+        summary = report.summary()
+        assert summary["clients"] == 3
+        assert summary["requests"] == 12
+        assert set(summary["sources"]) == {"computed", "store", "coalesced"}
+        assert "stats" in summary

@@ -1,0 +1,78 @@
+"""Histogram and service-metrics accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import Histogram, ServiceMetrics
+
+
+class TestHistogram:
+    def test_count_sum_extremes(self):
+        histogram = Histogram()
+        for value in (0.001, 0.01, 0.1):
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.min == pytest.approx(0.001)
+        assert histogram.max == pytest.approx(0.1)
+        assert histogram.mean == pytest.approx(0.111 / 3)
+
+    def test_quantiles_bound_observations(self):
+        histogram = Histogram()
+        values = [i / 1000 for i in range(1, 101)]
+        for value in values:
+            histogram.record(value)
+        # Geometric buckets give ~growth relative error; check sanity bounds.
+        assert histogram.quantile(0.0) <= values[5]
+        assert histogram.quantile(0.5) == pytest.approx(0.05, rel=0.25)
+        assert histogram.quantile(1.0) == pytest.approx(histogram.max)
+
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0}
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_summary_scaling(self):
+        histogram = Histogram()
+        histogram.record(0.5)
+        summary = histogram.summary(scale=1e3)
+        assert summary["mean"] == pytest.approx(500.0)
+        assert summary["p50"] == pytest.approx(500.0, rel=0.25)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(smallest=0)
+        with pytest.raises(ValueError):
+            Histogram(growth=1.0)
+        with pytest.raises(ValueError):
+            Histogram().record(-1)
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestServiceMetrics:
+    def test_response_source_accounting(self):
+        metrics = ServiceMetrics()
+        metrics.record_enqueue(0)
+        metrics.record_response("computed", 0.01)
+        metrics.record_response("store", 0.001)
+        metrics.record_response("coalesced", 0.002, ok=False)
+        snapshot = metrics.snapshot()
+        assert snapshot["computed"] == 1
+        assert snapshot["store_hits"] == 1
+        assert snapshot["coalesced_duplicates"] == 1
+        assert snapshot["errors"] == 1
+        assert snapshot["latency_ms"]["count"] == 3
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics().record_response("cache", 0.1)
+
+    def test_batch_accounting(self):
+        metrics = ServiceMetrics()
+        metrics.record_batch(1, compiles=0, pair_builds=0)
+        metrics.record_batch(5, compiles=0, pair_builds=1)
+        snapshot = metrics.snapshot()
+        assert snapshot["batches"] == 2
+        assert snapshot["coalesced_batches"] == 1
+        assert snapshot["mean_batch_size"] == pytest.approx(3.0)
+        assert snapshot["worker_pair_builds"] == 1

@@ -1,0 +1,37 @@
+"""Package surface: lazy exports resolve, unknown names fail cleanly."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.service as service_pkg
+
+
+class TestLazyExports:
+    def test_every_advertised_name_resolves(self):
+        for name in service_pkg.__all__:
+            assert getattr(service_pkg, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            service_pkg.not_a_thing
+
+    def test_dir_lists_exports(self):
+        listing = dir(service_pkg)
+        assert "DiagnosisService" in listing
+        assert "LRUCache" in listing
+
+    def test_registry_import_does_not_drag_in_the_service(self):
+        """The registry depends only on the cache module (no import cycle)."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys; import repro.networks.registry; "
+            "assert 'repro.service.service' not in sys.modules, 'eager import'; "
+            "assert 'repro.service.cache' in sys.modules"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr

@@ -1,0 +1,72 @@
+"""Request model: keys, digests, JSONL parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.requests import (
+    DiagnosisRequest,
+    request_key,
+    syndrome_digest,
+    topology_key,
+)
+
+
+class TestKeys:
+    def test_topology_key_is_order_insensitive(self):
+        assert topology_key("kary_ncube", {"n": 3, "k": 5}) == \
+            topology_key("kary_ncube", {"k": 5, "n": 3})
+
+    def test_request_key_separates_generation_parameters(self):
+        base = dict(family="hypercube", params={"dimension": 6})
+        keys = {
+            request_key(DiagnosisRequest.seeded(**base, seed=seed, placement=placement))
+            for seed in (0, 1)
+            for placement in ("random", "clustered")
+        }
+        assert len(keys) == 4
+
+    def test_explicit_requests_key_on_content(self):
+        first = DiagnosisRequest.from_syndrome("hypercube", {"dimension": 5}, b"\x00\x01")
+        same = DiagnosisRequest.from_syndrome("hypercube", {"dimension": 5}, b"\x00\x01")
+        other = DiagnosisRequest.from_syndrome("hypercube", {"dimension": 5}, b"\x01\x01")
+        assert request_key(first) == request_key(same)
+        assert request_key(first) != request_key(other)
+        assert syndrome_digest(b"\x00\x01") in request_key(first)
+
+    def test_describe_is_stable_and_compact(self):
+        request = DiagnosisRequest.seeded("star", {"n": 6}, seed=2)
+        assert request.describe() == "star[n=6] random/delta random seed=2"
+
+
+class TestFromDict:
+    def test_minimal_and_full_forms(self):
+        minimal = DiagnosisRequest.from_dict({"family": "hypercube"})
+        assert minimal.params == ()
+        full = DiagnosisRequest.from_dict({
+            "family": "hypercube", "params": {"dimension": 7},
+            "placement": "clustered", "fault_count": 3,
+            "behavior": "mimic", "seed": 9,
+        })
+        assert full.network_kwargs == {"dimension": 7}
+        assert full.fault_count == 3
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            DiagnosisRequest.from_dict({"family": "hypercube", "nonsense": 1})
+
+    def test_missing_family_rejected(self):
+        with pytest.raises(ValueError, match="'family'"):
+            DiagnosisRequest.from_dict({"seed": 1})
+
+    def test_non_integer_params_rejected(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            DiagnosisRequest.from_dict(
+                {"family": "hypercube", "params": {"dimension": "7"}}
+            )
+        with pytest.raises(ValueError, match="must be an integer"):
+            DiagnosisRequest.from_dict(
+                {"family": "hypercube", "params": {"dimension": True}}
+            )
+        with pytest.raises(ValueError, match="must be an object"):
+            DiagnosisRequest.from_dict({"family": "hypercube", "params": [7]})

@@ -1,0 +1,344 @@
+"""DiagnosisService concurrency: coalescing, batching, dedup, cancellation.
+
+The suite drives the asyncio service from synchronous tests via
+``asyncio.run`` (no pytest-asyncio dependency).  Correctness baseline
+throughout: :func:`repro.service.executor.run_direct`, the plain pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    DiagnosisRequest,
+    DiagnosisService,
+    ResultStore,
+)
+from repro.service.executor import run_direct
+
+Q6 = ("hypercube", {"dimension": 6})
+S5 = ("star", {"n": 5})
+#: A deterministic Theorem-1-violating instance: 14 faults on the 24-node
+#: pancake P_4 leave no certifiable healthy component.
+DOOMED = DiagnosisRequest.seeded("pancake", {"n": 4}, fault_count=14, seed=0)
+
+
+def _request(seed: int = 0, instance=Q6, **kwargs) -> DiagnosisRequest:
+    return DiagnosisRequest.seeded(*instance, seed=seed, **kwargs)
+
+
+def _serve(service: DiagnosisService, *requests):
+    async def run():
+        async with service:
+            return await service.submit_many(list(requests))
+
+    return asyncio.run(run())
+
+
+class TestCoalescing:
+    def test_same_topology_requests_share_one_batch(self):
+        service = DiagnosisService()
+        responses = _serve(service, *(_request(seed) for seed in range(4)))
+        assert [r.source for r in responses] == ["computed"] * 4
+        assert {r.batch_size for r in responses} == {4}
+        stats = service.stats()
+        assert stats["batches"] == 1
+        assert stats["coalesced_batches"] == 1
+        assert stats["topology_cache"]["misses"] == 1
+
+    def test_distinct_topologies_get_distinct_batches(self):
+        service = DiagnosisService()
+        responses = _serve(
+            service, _request(0, Q6), _request(0, S5), _request(1, Q6), _request(1, S5)
+        )
+        assert all(r.source == "computed" for r in responses)
+        assert service.stats()["batches"] == 2
+        assert service.stats()["topology_cache"]["misses"] == 2
+
+    def test_identical_concurrent_requests_compute_once(self):
+        service = DiagnosisService()
+        responses = _serve(service, _request(7), _request(7), _request(7))
+        sources = sorted(r.source for r in responses)
+        assert sources == ["coalesced", "coalesced", "computed"]
+        assert service.stats()["computed"] == 1
+        assert len({r.faulty for r in responses}) == 1
+
+    def test_max_batch_size_caps_batches(self):
+        service = DiagnosisService(max_batch_size=2)
+        responses = _serve(service, *(_request(seed) for seed in range(4)))
+        assert all(r.batch_size <= 2 for r in responses)
+        assert service.stats()["batches"] == 2
+
+    def test_naive_mode_serves_one_at_a_time(self):
+        service = DiagnosisService(coalesce=False, topology_cache_capacity=0)
+        responses = _serve(service, _request(0), _request(1), _request(0))
+        assert all(r.source == "computed" for r in responses)
+        assert all(r.batch_size == 1 for r in responses)
+        stats = service.stats()
+        assert stats["batches"] == 3
+        assert stats["coalesced_batches"] == 0
+        # capacity 0: every batch re-resolved its topology
+        assert stats["topology_cache"]["misses"] == 3
+
+
+class TestCorrectness:
+    def test_responses_match_direct_pipeline(self):
+        service = DiagnosisService()
+        requests = [_request(seed) for seed in range(3)] + [_request(1, S5)]
+        responses = _serve(service, *requests)
+        for request, response in zip(requests, responses):
+            direct = run_direct(request)
+            assert response.faulty == direct.faulty
+            assert response.healthy_root == direct.healthy_root
+            assert response.lookups == direct.lookups
+            assert response.syndrome_digest == direct.syndrome_digest
+
+    def test_explicit_syndrome_requests(self, q5):
+        from repro.backend.array_syndrome import ArraySyndrome
+        from repro.backend.csr import compile_network
+        from repro.core.faults import random_faults
+
+        faults = random_faults(q5, 3, seed=9)
+        syndrome = ArraySyndrome.from_faults(compile_network(q5), faults, seed=9)
+        request = DiagnosisRequest.from_syndrome(
+            "hypercube", {"dimension": 5}, syndrome
+        )
+        [response] = _serve(DiagnosisService(), request)
+        assert response.faulty_set == faults
+
+    def test_one_bad_request_never_fails_its_batch_mates(self):
+        """Batches share execution, not fate (per-request error isolation)."""
+        service = DiagnosisService()
+        oversized = _request(0, fault_count=10_000)  # > num_nodes: ValueError
+        healthy = _request(1)
+        bad, good = _serve(service, oversized, healthy)
+        assert not bad.ok and "ValueError" in bad.error
+        assert good.ok
+        assert good.faulty == run_direct(healthy).faulty
+        # The direct pipeline agrees on the failure, too.
+        assert run_direct(oversized).error == bad.error
+
+    def test_diagnosis_error_becomes_error_response(self):
+        service = DiagnosisService()
+        ok_request = _request(0)
+        responses = _serve(service, DOOMED, ok_request)
+        assert not responses[0].ok
+        assert "DiagnosisError" in responses[0].error
+        assert responses[0].faulty == ()
+        assert responses[1].ok  # the failure never poisons other requests
+        direct = run_direct(DOOMED)
+        assert responses[0].error == direct.error
+
+    def test_in_process_batches_never_recompile(self):
+        service = DiagnosisService()
+        _serve(service, *(_request(seed) for seed in range(5)))
+        stats = service.stats()
+        assert stats["worker_compiles"] == 0
+
+
+class TestStoreIntegration:
+    def test_repeat_requests_hit_the_store(self):
+        store = ResultStore()
+        service = DiagnosisService(store=store)
+
+        async def run():
+            async with service:
+                first = await service.submit(_request(3))
+                second = await service.submit(_request(3))
+                return first, second
+
+        first, second = asyncio.run(run())
+        assert first.source == "computed"
+        assert second.source == "store"
+        assert second.faulty == first.faulty
+        assert service.stats()["store_hits"] == 1
+        assert store.hits == 1
+
+    def test_store_survives_service_restart(self, tmp_path):
+        path = tmp_path / "results.db"
+        first = _serve(DiagnosisService(store=ResultStore(path)), _request(5))[0]
+        again = _serve(DiagnosisService(store=ResultStore(path)), _request(5))[0]
+        assert again.source == "store"
+        assert again.faulty == first.faulty
+
+    def test_failed_diagnoses_are_stored_too(self):
+        store = ResultStore()
+        first = _serve(DiagnosisService(store=store), DOOMED)[0]
+        again = _serve(DiagnosisService(store=store), DOOMED)[0]
+        assert not first.ok and not again.ok
+        assert again.source == "store"
+
+
+class TestCancellation:
+    def test_cancelling_one_client_leaves_the_batch_intact(self):
+        service = DiagnosisService(batch_delay=0.05)
+
+        async def run():
+            async with service:
+                doomed_task = asyncio.create_task(service.submit(_request(0)))
+                survivor_task = asyncio.create_task(service.submit(_request(1)))
+                await asyncio.sleep(0)  # both enqueue into the open window
+                doomed_task.cancel()
+                survivor = await survivor_task
+                with pytest.raises(asyncio.CancelledError):
+                    await doomed_task
+                return survivor
+
+        survivor = asyncio.run(run())
+        assert survivor.ok
+        assert survivor.faulty == run_direct(_request(1)).faulty
+
+    def test_cancelling_a_coalesced_waiter_keeps_the_computation(self):
+        service = DiagnosisService(batch_delay=0.05)
+
+        async def run():
+            async with service:
+                original = asyncio.create_task(service.submit(_request(2)))
+                await asyncio.sleep(0)
+                duplicate = asyncio.create_task(service.submit(_request(2)))
+                await asyncio.sleep(0)
+                duplicate.cancel()
+                response = await original
+                with pytest.raises(asyncio.CancelledError):
+                    await duplicate
+                return response
+
+        response = asyncio.run(run())
+        assert response.ok and response.source == "computed"
+
+
+class TestLifecycleAndValidation:
+    def test_closed_service_refuses(self):
+        async def run():
+            service = DiagnosisService()
+            await service.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await service.submit(_request(0))
+
+        asyncio.run(run())
+
+    def test_unknown_family_rejected_before_enqueue(self):
+        bad = DiagnosisRequest.seeded("hypercube", {"dimension": 6})
+        bad = DiagnosisRequest(family="mesh", params=(("dimension", 6),))
+        with pytest.raises(ValueError, match="unknown network family"):
+            _serve(DiagnosisService(), bad)
+
+    def test_bad_placement_and_behavior_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            _serve(DiagnosisService(), _request(0, placement="ring"))
+        with pytest.raises(ValueError, match="unknown behavior"):
+            _serve(DiagnosisService(), _request(0, behavior="chaotic"))
+        with pytest.raises(ValueError, match="fault_count"):
+            _serve(DiagnosisService(), _request(0, fault_count=0))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            DiagnosisService(max_batch_size=0)
+        with pytest.raises(ValueError):
+            DiagnosisService(batch_delay=-1)
+
+    def test_topology_cache_eviction_under_pressure(self):
+        service = DiagnosisService(topology_cache_capacity=1)
+        _serve(service, _request(0, Q6), _request(0, S5), _request(1, Q6))
+        cache = service.stats()["topology_cache"]
+        assert cache["evictions"] >= 1
+        assert cache["size"] == 1
+
+
+class TestPooledService:
+    def test_evictions_release_pool_segments(self):
+        """A bounded cache must bound /dev/shm too, not just coordinator heap."""
+        from repro.parallel import WorkerPool
+
+        topologies = [
+            ("hypercube", {"dimension": 5}),
+            ("star", {"n": 5}),
+            ("pancake", {"n": 5}),
+            ("hypercube", {"dimension": 6}),
+        ]
+        with WorkerPool(max_workers=1) as pool:
+            service = DiagnosisService(pool=pool, topology_cache_capacity=1)
+
+            async def run():
+                async with service:
+                    for instance in topologies:
+                        response = await service.submit(_request(0, instance))
+                        assert response.ok
+                    return len(pool._segments)
+
+            live_segments = asyncio.run(run())
+        # One cached topology + nothing retired: evicted segments were
+        # unlinked as their batches completed, not pinned until shutdown.
+        assert live_segments <= 1
+        assert service.stats()["topology_cache"]["evictions"] == len(topologies) - 1
+
+    def test_fork_inherited_topology_adopts_shipped_pair_members(self):
+        """Workers that inherited a compiled (but pair-less) CSR graft the
+        shared pair members instead of rebuilding them."""
+        from repro.backend.csr import compile_network
+        from repro.networks.registry import cached_network, clear_network_cache
+        from repro.parallel import WorkerPool
+
+        # Compile in the parent via the registry memo, without touching the
+        # pair arrays, *before* the pool forks: workers inherit exactly the
+        # state that used to defeat the attach guard.  (Clear first so no
+        # earlier test's pair-member build rides along on the memo.)
+        clear_network_cache()
+        csr = compile_network(cached_network("hypercube", dimension=6))
+        assert csr._pair_members is None
+        with WorkerPool(max_workers=1) as pool:
+            pool.submit(pow, 2, 2).result()  # fork now
+            service = DiagnosisService(pool=pool)
+            responses = _serve(service, _request(0), _request(1))
+            stats = service.stats()
+        assert all(r.ok for r in responses)
+        assert stats["worker_compiles"] == 0
+        assert stats["worker_pair_builds"] == 0
+
+    def test_capacity_zero_pooled_service_leaks_no_segments(self):
+        """The naive baseline must not pin one shm segment per batch."""
+        from repro.parallel import WorkerPool
+
+        with WorkerPool(max_workers=1) as pool:
+            service = DiagnosisService(
+                pool=pool, coalesce=False, topology_cache_capacity=0
+            )
+
+            async def run():
+                async with service:
+                    for seed in range(4):
+                        assert (await service.submit(_request(seed))).ok
+                    return len(pool._segments), len(service._topology_locks)
+
+            segments, locks = asyncio.run(run())
+        assert segments == 0  # every batch's segment was retired and released
+        assert locks == 0
+
+    def test_empty_digest_failures_are_not_stored(self):
+        """Pre-syndrome failures have no content address; storing them under
+        the empty digest would make unrelated errors collide."""
+        store = ResultStore()
+        bad_a = DiagnosisRequest.from_syndrome("hypercube", {"dimension": 5}, b"\x00" * 7)
+        bad_b = DiagnosisRequest.from_syndrome("hypercube", {"dimension": 5}, b"\x00" * 13)
+        first = _serve(DiagnosisService(store=store), bad_a, bad_b)
+        again = _serve(DiagnosisService(store=store), bad_a, bad_b)
+        assert [r.error for r in again] == [r.error for r in first]
+        assert "got 7" in again[0].error and "got 13" in again[1].error
+        assert all(r.source != "store" for r in again)
+        assert len(store) == 0
+
+    def test_pooled_matches_in_process_with_zero_worker_compiles(self):
+        from repro.parallel import WorkerPool
+
+        requests = [_request(seed) for seed in range(3)] + [_request(0, S5)]
+        plain = _serve(DiagnosisService(), *requests)
+        with WorkerPool(max_workers=2) as pool:
+            service = DiagnosisService(pool=pool)
+            pooled = _serve(service, *requests)
+            stats = service.stats()
+        assert [r.faulty for r in pooled] == [r.faulty for r in plain]
+        assert [r.lookups for r in pooled] == [r.lookups for r in plain]
+        assert stats["worker_compiles"] == 0
+        assert stats["worker_pair_builds"] == 0

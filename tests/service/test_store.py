@@ -1,0 +1,100 @@
+"""Result store: content addressing, request indexing, persistence."""
+
+from __future__ import annotations
+
+from repro.service.requests import DiagnosisRequest, DiagnosisResponse
+from repro.service.store import ResultStore
+
+
+def _request(seed: int = 0, family: str = "hypercube") -> DiagnosisRequest:
+    return DiagnosisRequest.seeded(family, {"dimension": 5}, seed=seed)
+
+
+def _response(digest: str = "d" * 64, faulty=(3, 9)) -> DiagnosisResponse:
+    return DiagnosisResponse(
+        topology_key="hypercube[dimension=5]",
+        syndrome_digest=digest,
+        faulty=tuple(faulty),
+        healthy_root=0,
+        lookups=42,
+        num_probes=2,
+        partition_level=0,
+    )
+
+
+class TestRoundtrip:
+    def test_put_get(self):
+        with ResultStore() as store:
+            request = _request()
+            assert store.get(request) is None
+            store.put(request, _response())
+            served = store.get(request)
+            assert served is not None
+            assert served.faulty == (3, 9)
+            assert served.source == "store"
+            assert served.lookups == 42
+            assert (store.hits, store.misses, store.writes) == (1, 1, 1)
+
+    def test_error_responses_roundtrip(self):
+        with ResultStore() as store:
+            request = _request()
+            failure = DiagnosisResponse(
+                topology_key=request.topology_key,
+                syndrome_digest="e" * 64,
+                faulty=(),
+                healthy_root=None,
+                lookups=7,
+                num_probes=3,
+                partition_level=None,
+                error="DiagnosisError: no certificate",
+            )
+            store.put(request, failure)
+            served = store.get(request)
+            assert not served.ok
+            assert served.error == failure.error
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = tmp_path / "results.db"
+        with ResultStore(path) as store:
+            store.put(_request(), _response())
+        with ResultStore(path) as reopened:
+            assert len(reopened) == 1
+            assert reopened.get(_request()).faulty == (3, 9)
+
+
+class TestDedup:
+    def test_identical_content_stored_once(self):
+        with ResultStore() as store:
+            # Two distinct request keys whose syndromes hash identically
+            # (e.g. different placements producing the same fault set).
+            store.put(_request(seed=1), _response())
+            store.put(_request(seed=2), _response())
+            assert len(store) == 1
+            assert store.request_count() == 2
+            assert store.dedup_writes == 1
+            assert store.get(_request(seed=2)).faulty == (3, 9)
+
+    def test_get_by_digest(self):
+        with ResultStore() as store:
+            store.put(_request(), _response(digest="a" * 64))
+            assert store.get_by_digest("hypercube[dimension=5]", "a" * 64) is not None
+            assert store.get_by_digest("hypercube[dimension=5]", "b" * 64) is None
+
+    def test_put_many_is_one_visible_batch(self):
+        with ResultStore() as store:
+            store.put_many([
+                (_request(seed=1), _response(digest="a" * 64, faulty=(1,))),
+                (_request(seed=2), _response(digest="b" * 64, faulty=(2,))),
+            ])
+            assert len(store) == 2
+            assert store.writes == 2
+            assert store.get(_request(seed=1)).faulty == (1,)
+            assert store.get(_request(seed=2)).faulty == (2,)
+
+    def test_stats_shape(self):
+        with ResultStore() as store:
+            store.put(_request(), _response())
+            stats = store.stats()
+            assert stats["results"] == 1
+            assert stats["request_keys"] == 1
+            assert stats["writes"] == 1

@@ -83,6 +83,124 @@ class TestCommands:
         assert out.count("yes") >= 14
 
 
+class TestServeCommand:
+    def test_demo_mix_serves_and_prints_stats(self, capsys):
+        code = main(["serve", "--demo-requests", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "served 6 requests" in out
+        assert "worker compiles: 0" in out
+
+    def test_requests_file_with_store_and_stats_json(self, capsys, tmp_path):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"family": "hypercube", "params": {"dimension": 6}, "seed": 1}\n'
+            "# a comment and a blank line are skipped\n\n"
+            '{"family": "hypercube", "params": {"dimension": 6}, "seed": 1}\n'
+        )
+        store = tmp_path / "results.db"
+        stats_path = tmp_path / "stats.json"
+        code = main(["serve", "--requests", str(requests), "--store", str(store),
+                     "--stats-json", str(stats_path)])
+        assert code == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["requests"] == 2
+        # Second run: everything comes from the persistent store.
+        code = main(["serve", "--requests", str(requests), "--store", str(store)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 from store" in out
+
+    def test_malformed_request_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"family": "hypercube", "nonsense": 1}\n')
+        with pytest.raises(SystemExit, match="unknown request fields"):
+            main(["serve", "--requests", str(bad)])
+        bad.write_text('{"family": "mesh"}\n')
+        with pytest.raises(SystemExit, match="unknown network family"):
+            main(["serve", "--requests", str(bad)])
+        bad.write_text('{"family": "hypercube", "params": {"dimension": "7"}}\n')
+        with pytest.raises(SystemExit, match="must be an integer"):
+            main(["serve", "--requests", str(bad)])
+        # A wrong param *name* only surfaces when the constructor runs; it
+        # must still exit cleanly, not with a raw traceback.
+        bad.write_text('{"family": "hypercube", "params": {"dim": 7}}\n')
+        with pytest.raises(SystemExit, match="request failed"):
+            main(["serve", "--requests", str(bad)])
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        with pytest.raises(SystemExit, match="no requests"):
+            main(["serve", "--requests", str(empty)])
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["serve", "--requests", str(tmp_path / "absent.jsonl")])
+
+    def test_argument_validation(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--workers", "0"])
+        with pytest.raises(SystemExit, match="--cache-capacity"):
+            main(["serve", "--cache-capacity", "-1"])
+        with pytest.raises(SystemExit, match="--max-batch"):
+            main(["serve", "--max-batch", "0"])
+        with pytest.raises(SystemExit, match="--batch-delay-ms"):
+            main(["serve", "--batch-delay-ms", "-2"])
+        with pytest.raises(SystemExit, match="--demo-requests"):
+            main(["serve", "--demo-requests", "0"])
+
+
+class TestLoadCommand:
+    def test_compare_reports_speedup_and_verifies(self, capsys):
+        code = main(["load", "--clients", "2", "--requests", "3", "--seed-pool", "2",
+                     "--instance", "hypercube:dimension=6", "--compare", "--verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "naive:" in out and "batched:" in out
+        assert "batched vs naive throughput:" in out
+        assert "0 mismatches" in out
+
+    def test_expectations_enforced(self, capsys):
+        # Single instance + huge seed pool: coalesced batches guaranteed,
+        # store hits impossible.
+        code = main(["load", "--clients", "3", "--requests", "2",
+                     "--seed-pool", "100000", "--instance", "hypercube:dimension=6",
+                     "--expect-coalesced", "1"])
+        assert code == 0
+        code = main(["load", "--clients", "3", "--requests", "2",
+                     "--seed-pool", "100000", "--instance", "hypercube:dimension=6",
+                     "--expect-store-hits", "1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_naive_mode(self, capsys):
+        code = main(["load", "--clients", "2", "--requests", "2", "--naive",
+                     "--instance", "star:n=5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "naive:" in out
+
+    def test_argument_validation(self):
+        with pytest.raises(SystemExit, match="--clients"):
+            main(["load", "--clients", "0"])
+        with pytest.raises(SystemExit, match="--requests"):
+            main(["load", "--requests", "0"])
+        with pytest.raises(SystemExit, match="--seed-pool"):
+            main(["load", "--seed-pool", "0"])
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["load", "--workers", "0"])
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["load", "--naive", "--compare"])
+        with pytest.raises(SystemExit, match="drop --workers"):
+            main(["load", "--naive", "--workers", "2"])
+        with pytest.raises(SystemExit, match="drop --store"):
+            main(["load", "--naive", "--store", "x.db"])
+        with pytest.raises(SystemExit, match="unknown network family"):
+            main(["load", "--instance", "mesh:n=3"])
+        with pytest.raises(SystemExit, match="bad instance"):
+            main(["load", "--instance", "hypercube:dimension"])
+
+
 class TestShardedDiagnose:
     def test_sharded_in_process(self, capsys):
         code = main(["diagnose", "--family", "hypercube", "--param", "dimension=7",
