@@ -12,7 +12,11 @@ Q_12 / Q_14 / S_7 request stream with repeats:
   result store, batches executed in-process;
 * **batched_pooled** — the same, with batches dispatched as single
   shared-memory `WorkerPool` tasks (pair members shipped, so workers neither
-  compile nor rebuild pair arrays — the reported deltas prove it).
+  compile nor rebuild pair arrays — the reported deltas prove it);
+* **batched_http** — the batched service behind the stdlib HTTP/JSON
+  frontend (`repro.service.http`), clients driving the real wire path
+  (keep-alive connections, JSON bodies) so the transport tax is measured,
+  not guessed.
 
 Every batched response is verified bit-identical to the direct
 `GeneralDiagnoser` pipeline before any number is recorded.  Results land in
@@ -47,6 +51,7 @@ def _mode_entry(name: str, report, *, verified: bool) -> dict:
         "throughput_rps": round(report.throughput_rps, 2),
         "sources": report.source_counts(),
         "errors": report.errors,
+        "rejections": report.rejections,
         "verified_bit_identical": verified and report.mismatches == 0,
         "batches": stats["batches"],
         "coalesced_batches": stats["coalesced_batches"],
@@ -62,15 +67,27 @@ def _mode_entry(name: str, report, *, verified: bool) -> dict:
 
 def measure(spec: LoadSpec, *, workers: int, verify: bool) -> list[dict]:
     from repro.parallel import WorkerPool
+    from repro.service import (
+        BackgroundHttpServer,
+        DiagnosisService,
+        run_load_http_sync,
+    )
 
     naive = run_load_sync(spec, naive=True, verify=verify)
     batched = run_load_sync(spec, store=ResultStore(), verify=verify)
     with WorkerPool(max_workers=workers) as pool:
         pooled = run_load_sync(spec, pool=pool, store=ResultStore(), verify=verify)
+    # The HTTP row serves the identical batched configuration over the wire
+    # (store built inside the server's thread: SQLite is thread-affine).
+    with BackgroundHttpServer(
+        lambda: DiagnosisService(store=ResultStore())
+    ) as server:
+        http = run_load_http_sync(spec, server.address, verify=verify)
     return [
         _mode_entry("naive", naive, verified=verify),
         _mode_entry("batched", batched, verified=verify),
         _mode_entry("batched_pooled", pooled, verified=verify),
+        _mode_entry("batched_http", http, verified=verify),
     ]
 
 
@@ -99,6 +116,17 @@ def main(argv: list[str] | None = None) -> int:
         / max(by_name["naive"]["throughput_rps"], 1e-9),
         2,
     )
+    http_speedup = round(
+        by_name["batched_http"]["throughput_rps"]
+        / max(by_name["naive"]["throughput_rps"], 1e-9),
+        2,
+    )
+    http_transport_tax = round(
+        1.0
+        - by_name["batched_http"]["throughput_rps"]
+        / max(by_name["batched"]["throughput_rps"], 1e-9),
+        3,
+    )
     payload = {
         "benchmark": "bench_service",
         "description": (
@@ -122,6 +150,8 @@ def main(argv: list[str] | None = None) -> int:
         "results": modes,
         "batched_speedup_vs_naive": speedup,
         "pooled_speedup_vs_naive": pooled_speedup,
+        "http_speedup_vs_naive": http_speedup,
+        "http_transport_tax": http_transport_tax,
         "target_speedup": 3.0,
         "target_met": speedup >= 3.0,
         "zero_recompilation": (
@@ -149,7 +179,8 @@ def main(argv: list[str] | None = None) -> int:
             f"bit-identical {entry['verified_bit_identical']})"
         )
     print(
-        f"batched vs naive: {speedup}x (pooled {pooled_speedup}x); "
+        f"batched vs naive: {speedup}x (pooled {pooled_speedup}x, "
+        f"http {http_speedup}x, transport tax {http_transport_tax:.1%}); "
         f"target >= 3.0x -> {'met' if payload['target_met'] else 'MISSED'}"
     )
     if smoke:

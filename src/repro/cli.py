@@ -27,14 +27,20 @@ Six sub-commands cover the common workflows:
     Run the asyncio diagnosis service (:mod:`repro.service`) over a stream
     of requests — a JSONL file or a seeded demo mix — with request
     coalescing, a bounded topology cache, an optional persistent result
-    store and an optional worker pool, then print the ``stats`` snapshot.
+    store (TTL/row-bounded via ``--store-ttl``/``--store-max-rows``) and an
+    optional worker pool, then print the ``stats`` snapshot.  With
+    ``--http PORT`` it becomes the HTTP/JSON frontend instead (``POST
+    /diagnose``, ``GET /stats``, ``GET /healthz``), shedding with 429 once
+    ``--max-queue`` requests are queued, until SIGINT/SIGTERM drains it.
 
 ``repro-diagnose load``
     Seeded closed-loop load generator: ``--clients N`` clients each issue
     ``--requests M`` requests against a freshly built service; reports
     throughput, latency percentiles and coalescing/cache evidence, with
     ``--naive`` and ``--compare`` baselines and ``--verify`` checking every
-    answer against the direct pipeline.
+    answer against the direct pipeline.  ``--http URL`` drives the same
+    closed-loop load over the wire against a running ``serve --http``
+    frontend, counting (and retrying) 429-shed requests.
 """
 
 from __future__ import annotations
@@ -140,7 +146,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="run the batched diagnosis service over a request stream",
+        help="run the batched diagnosis service over a request stream "
+             "or as an HTTP frontend",
     )
     serve.add_argument("--requests", metavar="PATH", default=None,
                        help="JSONL request file (one JSON object per line with "
@@ -149,12 +156,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--demo-requests", type=int, default=12,
                        help="size of the built-in demo mix when no --requests "
                             "file is given")
+    serve.add_argument("--http", type=int, default=None, metavar="PORT",
+                       help="serve HTTP/JSON on PORT instead of a request "
+                            "stream (0 picks an ephemeral port); endpoints: "
+                            "POST /diagnose, GET /stats, GET /healthz; "
+                            "runs until SIGINT/SIGTERM, then drains gracefully")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --http (default: 127.0.0.1)")
+    serve.add_argument("--ready-file", metavar="PATH", default=None,
+                       help="with --http: atomically write the JSON object "
+                            '{"host": ..., "port": ...} to PATH once the '
+                            "listener is bound (ephemeral-port handshake)")
+    serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                       help="admission control: shed requests (HTTP 429 / "
+                            "RejectedError) once N requests are queued "
+                            "undispatched (default: unbounded)")
     serve.add_argument("--workers", type=int, default=None, metavar="W",
                        help="dispatch batches over a W-process shared-memory "
                             "worker pool (default: in-process batches)")
     serve.add_argument("--store", metavar="PATH", default=None,
                        help="persist results in a SQLite store at PATH "
                             "(repeats are then served from disk)")
+    serve.add_argument("--store-ttl", type=float, default=None, metavar="S",
+                       help="evict stored results idle longer than S seconds "
+                            "(swept at batch-commit time)")
+    serve.add_argument("--store-max-rows", type=int, default=None, metavar="N",
+                       help="bound the store to N result rows, evicting "
+                            "least-recently-used rows at batch-commit time")
     serve.add_argument("--cache-capacity", type=int, default=16,
                        help="bound of the compiled-topology LRU cache")
     serve.add_argument("--max-batch", type=int, default=64,
@@ -162,7 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-delay-ms", type=float, default=2.0,
                        help="coalescing window in milliseconds")
     serve.add_argument("--stats-json", metavar="PATH", default=None,
-                       help="write the service stats snapshot to PATH as JSON")
+                       help="write the service stats snapshot to PATH as JSON "
+                            "(atomically: temp file + rename)")
 
     load = sub.add_parser(
         "load",
@@ -179,6 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--seed-pool", type=int, default=8,
                       help="distinct syndrome seeds per topology (small pools "
                            "produce repeats, exercising coalescing and the store)")
+    load.add_argument("--http", metavar="URL", default=None,
+                      help="drive the load over the wire against a running "
+                           "'serve --http' frontend at URL (http://host:port); "
+                           "429-shed requests are counted and retried")
+    load.add_argument("--expect-rejections", type=int, default=None, metavar="N",
+                      help="with --http: exit nonzero unless at least N "
+                           "requests were shed with 429 before being served")
     load.add_argument("--workers", type=int, default=None, metavar="W",
                       help="dispatch batches over a W-process pool")
     load.add_argument("--store", metavar="PATH", default=None,
@@ -325,6 +361,30 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     return 0 if not false_positives else 1
 
 
+def _write_json_atomic(path: str, payload) -> None:
+    """Dump JSON to ``path`` via a same-directory temp file + ``os.replace``.
+
+    CI smokes (and anything else downstream) parse these files; a crash
+    mid-dump must leave either the previous content or the new content,
+    never truncated JSON.
+    """
+    import json
+    import os
+    import tempfile
+
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        os.unlink(tmp_path)
+        raise
+
+
 def _demo_requests(count: int):
     """The built-in ``serve`` demo mix (seeded, includes repeats)."""
     from .service import DiagnosisRequest
@@ -361,10 +421,7 @@ def _read_requests_file(path: str):
     return requests
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    import asyncio
-    import json
-
+def _validate_serve_args(args: argparse.Namespace) -> None:
     if args.workers is not None and args.workers < 1:
         raise SystemExit("--workers must be at least 1")
     if args.cache_capacity < 0:
@@ -373,6 +430,100 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--max-batch must be at least 1")
     if args.batch_delay_ms < 0:
         raise SystemExit("--batch-delay-ms must be non-negative")
+    if args.max_queue is not None and args.max_queue < 1:
+        raise SystemExit("--max-queue must be at least 1")
+    if args.store_ttl is not None and args.store_ttl <= 0:
+        raise SystemExit("--store-ttl must be positive")
+    if args.store_max_rows is not None and args.store_max_rows < 1:
+        raise SystemExit("--store-max-rows must be at least 1")
+    if args.store is None and (args.store_ttl is not None
+                               or args.store_max_rows is not None):
+        raise SystemExit("--store-ttl/--store-max-rows need --store")
+    if args.http is not None:
+        if not 0 <= args.http <= 65535:
+            raise SystemExit("--http PORT must be within 0..65535")
+        if args.requests is not None:
+            raise SystemExit("--http serves network clients; drop --requests")
+    elif args.ready_file is not None:
+        raise SystemExit("--ready-file only makes sense with --http")
+
+
+def _make_store(args: argparse.Namespace):
+    from .service import ResultStore
+
+    if args.store is None:
+        return None
+    return ResultStore(
+        args.store, ttl_seconds=args.store_ttl, max_rows=args.store_max_rows
+    )
+
+
+def _serve_http(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .service import DiagnosisService, HttpFrontend
+
+    pool = None
+    if args.workers is not None:
+        from .parallel import WorkerPool
+
+        pool = WorkerPool(max_workers=args.workers)
+    store = _make_store(args)
+
+    async def _run() -> dict:
+        service = DiagnosisService(
+            pool=pool,
+            max_batch_size=args.max_batch,
+            batch_delay=args.batch_delay_ms / 1e3,
+            topology_cache_capacity=args.cache_capacity,
+            store=store,
+            max_queue_depth=args.max_queue,
+        )
+        frontend = HttpFrontend(service, host=args.host, port=args.http)
+        await frontend.start()
+        print(f"listening on {frontend.address} "
+              f"(max queue {args.max_queue or 'unbounded'}, "
+              f"store {args.store or 'none'})", flush=True)
+        if args.ready_file is not None:
+            _write_json_atomic(
+                args.ready_file, {"host": args.host, "port": frontend.port}
+            )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("shutting down: draining in-flight requests", flush=True)
+        await frontend.close()
+        await service.close()
+        stats = service.stats()
+        stats["http"] = frontend.stats()
+        return stats
+
+    try:
+        stats = asyncio.run(_run())
+    finally:
+        if pool is not None:
+            pool.shutdown()
+        if store is not None:
+            store.close()
+    print(f"served {stats['http']['requests']} HTTP requests "
+          f"({stats['http']['shed']} shed with 429, "
+          f"{stats['http']['client_errors']} client errors) over "
+          f"{stats['http']['connections_total']} connections")
+    if args.stats_json is not None:
+        _write_json_atomic(args.stats_json, stats)
+        print(f"stats -> {args.stats_json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    _validate_serve_args(args)
+    if args.http is not None:
+        return _serve_http(args)
     if args.requests is not None:
         requests = _read_requests_file(args.requests)
     else:
@@ -380,7 +531,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise SystemExit("--demo-requests must be at least 1")
         requests = _demo_requests(args.demo_requests)
 
-    from .service import DiagnosisService, ResultStore
+    from .service import DiagnosisService
     from .service.executor import validate_request
 
     for request in requests:
@@ -394,7 +545,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from .parallel import WorkerPool
 
         pool = WorkerPool(max_workers=args.workers)
-    store = ResultStore(args.store) if args.store is not None else None
+    store = _make_store(args)
 
     async def _serve():
         async with DiagnosisService(
@@ -403,12 +554,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_delay=args.batch_delay_ms / 1e3,
             topology_cache_capacity=args.cache_capacity,
             store=store,
+            max_queue_depth=args.max_queue,
         ) as service:
             responses = await service.submit_many(requests)
             return responses, service.stats()
 
+    from .service import RejectedError
+
     try:
         responses, stats = asyncio.run(_serve())
+    except RejectedError as exc:
+        # A JSONL stream submits everything at once, so a tight --max-queue
+        # sheds part of its own input — an operator error, not a crash.
+        raise SystemExit(
+            f"request shed by admission control: {exc} "
+            f"(the stream submits all requests at once; raise --max-queue)"
+        )
     except (ValueError, TypeError) as exc:
         # e.g. a params name the constructor rejects, only detectable once
         # the topology is actually built.
@@ -433,15 +594,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"pair builds: {stats['worker_pair_builds']}, "
           f"topology cache: {stats['topology_cache']}")
     if args.stats_json is not None:
-        with open(args.stats_json, "w") as fh:
-            json.dump(stats, fh, indent=2)
+        _write_json_atomic(args.stats_json, stats)
         print(f"stats -> {args.stats_json}")
     return 0
 
 
 def _cmd_load(args: argparse.Namespace) -> int:
-    import json
-
     if args.clients < 1:
         raise SystemExit("--clients must be at least 1")
     if args.requests < 1:
@@ -456,6 +614,18 @@ def _cmd_load(args: argparse.Namespace) -> int:
         raise SystemExit("--naive serves in-process; drop --workers")
     if args.naive and args.store is not None:
         raise SystemExit("--naive never consults a store; drop --store")
+    if args.http is not None:
+        # The server at URL owns the service configuration; flags that
+        # would build a local service contradict the wire transport.
+        for flag, present in (("--naive", args.naive),
+                              ("--compare", args.compare),
+                              ("--workers", args.workers is not None),
+                              ("--store", args.store is not None)):
+            if present:
+                raise SystemExit(f"--http drives a remote server; drop {flag}")
+    elif args.expect_rejections is not None:
+        raise SystemExit("--expect-rejections needs --http (in-process runs "
+                         "never shed: they have no admission bound)")
     mix = [_parse_instance(spec) for spec in args.instance] or [
         ("hypercube", {"dimension": 8}),
         ("star", {"n": 6}),
@@ -486,16 +656,29 @@ def _cmd_load(args: argparse.Namespace) -> int:
             store.close()
 
     reports = {}
-    if args.naive or args.compare:
-        reports["naive"] = run_load_sync(spec, naive=True, verify=args.verify)
-    if not args.naive:
-        reports["batched"] = _batched_report()
+    if args.http is not None:
+        from .service import HttpError, run_load_http_sync
+
+        try:
+            reports["http"] = run_load_http_sync(
+                spec, args.http, verify=args.verify
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        except (HttpError, OSError) as exc:
+            raise SystemExit(f"HTTP load against {args.http} failed: {exc}")
+    else:
+        if args.naive or args.compare:
+            reports["naive"] = run_load_sync(spec, naive=True, verify=args.verify)
+        if not args.naive:
+            reports["batched"] = _batched_report()
 
     for mode, report in reports.items():
         summary = report.summary()
         print(f"{mode}: {summary['requests']} requests / "
               f"{summary['wall_seconds']} s = {summary['throughput_rps']} req/s "
-              f"(sources {summary['sources']}, errors {summary['errors']})")
+              f"(sources {summary['sources']}, errors {summary['errors']}, "
+              f"rejections {summary['rejections']})")
         stats = summary["stats"]
         print(f"  batches {stats['batches']} ({stats['coalesced_batches']} coalesced, "
               f"mean size {stats['mean_batch_size']}), store hits "
@@ -512,13 +695,15 @@ def _cmd_load(args: argparse.Namespace) -> int:
         print(f"batched vs naive throughput: {speedup:.2f}x")
 
     if args.stats_json is not None:
-        with open(args.stats_json, "w") as fh:
-            json.dump({mode: report.summary() for mode, report in reports.items()},
-                      fh, indent=2)
+        _write_json_atomic(
+            args.stats_json,
+            {mode: report.summary() for mode, report in reports.items()},
+        )
         print(f"report -> {args.stats_json}")
 
     exit_code = 0
-    primary = reports.get("batched", reports.get("naive"))
+    primary = (reports.get("http") or reports.get("batched")
+               or reports.get("naive"))
     if args.verify and any(report.mismatches for report in reports.values()):
         print("FAIL: served responses diverged from the direct pipeline")
         exit_code = 1
@@ -532,6 +717,11 @@ def _cmd_load(args: argparse.Namespace) -> int:
         hits = primary.stats["store_hits"]
         if hits < args.expect_store_hits:
             print(f"FAIL: expected >= {args.expect_store_hits} store hits, saw {hits}")
+            exit_code = 1
+    if args.expect_rejections is not None:
+        if primary.rejections < args.expect_rejections:
+            print(f"FAIL: expected >= {args.expect_rejections} 429-shed "
+                  f"requests, saw {primary.rejections}")
             exit_code = 1
     return exit_code
 

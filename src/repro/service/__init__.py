@@ -20,8 +20,12 @@ into a throughput engine for *streams* of requests:
 * :mod:`~repro.service.service` — :class:`DiagnosisService`, the asyncio
   front end that coalesces concurrent requests per compiled topology into
   batched runs;
+* :mod:`~repro.service.http` — the stdlib-only asyncio HTTP/1.1 frontend
+  (``POST /diagnose``, ``GET /stats``, ``GET /healthz``, graceful drain,
+  429 shedding) plus the matching keep-alive client;
 * :mod:`~repro.service.loadgen` — the seeded closed-loop load generator
-  behind ``repro load`` and ``benchmarks/bench_service.py``.
+  behind ``repro load`` and ``benchmarks/bench_service.py``, with an HTTP
+  transport (``run_load_http_sync``) exercising the real wire path.
 
 Attribute access is lazy (PEP 562): :mod:`repro.networks.registry` imports
 :mod:`repro.service.cache` for its memo, and an eager ``__init__`` here would
@@ -42,10 +46,18 @@ _EXPORTS = {
     "Histogram": "metrics",
     "ServiceMetrics": "metrics",
     "DiagnosisService": "service",
+    "RejectedError": "service",
+    "BackgroundHttpServer": "http",
+    "HttpClient": "http",
+    "HttpError": "http",
+    "HttpFrontend": "http",
+    "parse_http_target": "http",
     "LoadSpec": "loadgen",
     "LoadReport": "loadgen",
     "build_client_streams": "loadgen",
     "run_load": "loadgen",
+    "run_load_http": "loadgen",
+    "run_load_http_sync": "loadgen",
     "run_load_sync": "loadgen",
     "verify_against_direct": "loadgen",
 }

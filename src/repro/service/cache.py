@@ -25,6 +25,9 @@ __all__ = ["CacheStats", "LRUCache"]
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
+#: distinguishes "no entry" from a stored ``None`` in :meth:`LRUCache.put`
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -118,8 +121,17 @@ class LRUCache(Generic[K, V]):
             if self._on_evict is not None:
                 self._on_evict(key, value)
             return
+        displaced = self._entries.get(key, _MISSING)
         self._entries[key] = value
         self._entries.move_to_end(key)
+        # A replaced value is let go of just like a capacity eviction: the
+        # owner of whatever it pins (a pooled topology's shm segment) must
+        # hear about it, or the replacement silently leaks the resource.
+        # Re-putting the very same object is a refresh, not a displacement.
+        if displaced is not _MISSING and displaced is not value:
+            self._evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(key, displaced)
         self._evict_to_capacity()
 
     def _evict_to_capacity(self) -> None:

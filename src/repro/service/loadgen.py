@@ -27,7 +27,15 @@ from ..parallel.seeding import spawn_seeds
 from .requests import DiagnosisRequest, DiagnosisResponse
 from .service import DiagnosisService
 
-__all__ = ["LoadSpec", "LoadReport", "build_client_streams", "run_load", "run_load_sync"]
+__all__ = [
+    "LoadSpec",
+    "LoadReport",
+    "build_client_streams",
+    "run_load",
+    "run_load_http",
+    "run_load_http_sync",
+    "run_load_sync",
+]
 
 #: The benchmark's default request mix (the acceptance workload): two
 #: hypercube sizes and a permutation network, so batches of different
@@ -128,6 +136,7 @@ class LoadReport:
     responses: list[DiagnosisResponse] = field(repr=False, default_factory=list)
     stats: dict = field(default_factory=dict)
     mismatches: int = 0  # populated by verified runs only
+    rejections: int = 0  # 429s absorbed by the HTTP transport's retry loop
 
     @property
     def throughput_rps(self) -> float:
@@ -153,6 +162,7 @@ class LoadReport:
             "sources": self.source_counts(),
             "errors": self.errors,
             "mismatches": self.mismatches,
+            "rejections": self.rejections,
             "stats": self.stats,
         }
 
@@ -173,6 +183,86 @@ async def run_load(service: DiagnosisService, spec: LoadSpec) -> LoadReport:
         responses=responses,
         stats=service.stats(),
     )
+
+
+async def run_load_http(
+    spec: LoadSpec,
+    host: str,
+    port: int,
+    *,
+    retry_delay: float = 0.05,
+    max_retries: int = 400,
+) -> LoadReport:
+    """Drive ``spec`` over the wire against a running HTTP frontend.
+
+    Each closed-loop client holds one keep-alive connection — the natural
+    HTTP shape of "a client".  A request shed with 429 is counted, backed
+    off (``retry_delay``), and retried until admitted, so the report's
+    responses stay position-aligned with :func:`build_client_streams` and
+    ``--verify`` parity checks run unchanged over the real wire path.
+    """
+    from .http import HttpClient, HttpError
+
+    streams = build_client_streams(spec)
+    rejections = 0
+
+    async def drive(stream: list[DiagnosisRequest]) -> list[DiagnosisResponse]:
+        nonlocal rejections
+        responses = []
+        async with HttpClient(host, port) as client:
+            for request in stream:
+                for _attempt in range(max_retries):
+                    status, outcome = await client.diagnose(request)
+                    if status == 200:
+                        responses.append(outcome)
+                        break
+                    if status == 429:
+                        rejections += 1
+                        await asyncio.sleep(retry_delay)
+                        continue
+                    raise HttpError(
+                        status, f"{request.describe()} answered {status}: {outcome}"
+                    )
+                else:
+                    raise HttpError(
+                        429,
+                        f"{request.describe()} still shed after "
+                        f"{max_retries} retries",
+                    )
+        return responses
+
+    start = time.perf_counter()
+    per_client = await asyncio.gather(*(drive(stream) for stream in streams))
+    wall = time.perf_counter() - start
+    async with HttpClient(host, port) as client:
+        stats = await client.stats()
+    responses = [response for client_responses in per_client
+                 for response in client_responses]
+    return LoadReport(
+        clients=spec.clients,
+        requests=len(responses),
+        wall_seconds=wall,
+        responses=responses,
+        stats=stats,
+        rejections=rejections,
+    )
+
+
+def run_load_http_sync(
+    spec: LoadSpec,
+    target: str,
+    *,
+    verify: bool = False,
+    retry_delay: float = 0.05,
+) -> LoadReport:
+    """One-call HTTP load run against ``target`` (``http://host:port``)."""
+    from .http import parse_http_target
+
+    host, port = parse_http_target(target)
+    report = asyncio.run(run_load_http(spec, host, port, retry_delay=retry_delay))
+    if verify:
+        verify_against_direct(spec, report)
+    return report
 
 
 def verify_against_direct(spec: LoadSpec, report: LoadReport) -> int:

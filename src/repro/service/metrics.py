@@ -39,9 +39,23 @@ class Histogram:
         self.max: float | None = None
 
     def _bucket(self, value: float) -> int:
+        """Index of the bucket covering ``value``.
+
+        Bucket ``i`` covers ``(_bucket_upper(i - 1), _bucket_upper(i)]`` with
+        bucket 0 taking everything at or below ``smallest``.  The log-ratio
+        formula alone can land a value *on* a boundary one bucket off (the
+        quotient sits within one ulp of an integer and truncation goes either
+        way depending on platform/libm), shifting percentile estimates, so
+        the candidate index is nudged until the bracket actually holds.
+        """
         if value <= self.smallest:
             return 0
-        return 1 + int(math.log(value / self.smallest) / math.log(self.growth))
+        index = 1 + int(math.log(value / self.smallest) / math.log(self.growth))
+        while index > 1 and value <= self._bucket_upper(index - 1):
+            index -= 1
+        while value > self._bucket_upper(index):
+            index += 1
+        return index
 
     def _bucket_upper(self, index: int) -> float:
         return self.smallest * self.growth ** index
@@ -101,6 +115,7 @@ class ServiceMetrics:
         self.computed = 0
         self.store_hits = 0
         self.coalesced_duplicates = 0
+        self.rejected = 0
         self.errors = 0
         self.batches = 0
         self.coalesced_batches = 0  # batches serving >1 request
@@ -118,6 +133,12 @@ class ServiceMetrics:
     # ------------------------------------------------------------- recorders
     def record_enqueue(self, depth: int) -> None:
         self.requests += 1
+        self.queue_depth.record(depth)
+
+    def record_rejection(self, depth: int) -> None:
+        """A request shed by admission control at the observed queue depth."""
+        self.requests += 1
+        self.rejected += 1
         self.queue_depth.record(depth)
 
     def record_batch(self, size: int, *, compiles: int, pair_builds: int) -> None:
@@ -150,6 +171,7 @@ class ServiceMetrics:
             "computed": self.computed,
             "store_hits": self.store_hits,
             "coalesced_duplicates": self.coalesced_duplicates,
+            "rejected": self.rejected,
             "errors": self.errors,
             "batches": self.batches,
             "coalesced_batches": self.coalesced_batches,

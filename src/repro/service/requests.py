@@ -99,8 +99,15 @@ class DiagnosisRequest:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "DiagnosisRequest":
-        """Parse the JSONL form used by ``repro serve --requests``."""
-        known = {"family", "params", "placement", "fault_count", "behavior", "seed"}
+        """Parse the JSON form used by JSONL files and the HTTP frontend.
+
+        ``syndrome_hex`` (hex-encoded flat buffer) switches the parsed
+        request to explicit-syndrome form, mirroring :meth:`from_syndrome`.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"request must be a JSON object, got {type(payload).__name__}")
+        known = {"family", "params", "placement", "fault_count", "behavior",
+                 "seed", "syndrome_hex"}
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown request fields: {sorted(unknown)}")
@@ -115,6 +122,18 @@ class DiagnosisRequest:
                 raise ValueError(
                     f"param {name!r} must be an integer, got {value!r}"
                 )
+        if payload.get("syndrome_hex") is not None:
+            seeded_only = {"placement", "fault_count", "behavior", "seed"} & set(payload)
+            if seeded_only:
+                raise ValueError(
+                    f"syndrome_hex is an explicit syndrome; it cannot combine "
+                    f"with seeded fields {sorted(seeded_only)}"
+                )
+            try:
+                buffer = bytes.fromhex(payload["syndrome_hex"])
+            except (ValueError, TypeError) as exc:
+                raise ValueError(f"bad syndrome_hex: {exc}")
+            return cls.from_syndrome(payload["family"], dict(params), buffer)
         return cls.seeded(
             payload["family"],
             dict(params),
@@ -123,6 +142,23 @@ class DiagnosisRequest:
             behavior=payload.get("behavior", "random"),
             seed=int(payload.get("seed", 0)),
         )
+
+    def to_wire(self) -> dict:
+        """The JSON object :meth:`from_dict` parses back (HTTP request body)."""
+        if self.is_explicit:
+            return {
+                "family": self.family,
+                "params": dict(self.params),
+                "syndrome_hex": self.syndrome_bytes.hex(),
+            }
+        return {
+            "family": self.family,
+            "params": dict(self.params),
+            "placement": self.placement,
+            "fault_count": self.fault_count,
+            "behavior": self.behavior,
+            "seed": self.seed,
+        }
 
     # ------------------------------------------------------------------- keys
     @property
@@ -210,3 +246,15 @@ class DiagnosisResponse:
         record = json.loads(payload)
         record["faulty"] = tuple(record["faulty"])
         return cls(source="store", **record)
+
+    # ------------------------------------------------------------- wire codec
+    def to_wire(self) -> dict:
+        """The full JSON object the HTTP frontend returns (all fields)."""
+        return asdict(self)
+
+    @classmethod
+    def from_wire(cls, record: dict) -> "DiagnosisResponse":
+        """Parse an HTTP response body back into a response object."""
+        record = dict(record)
+        record["faulty"] = tuple(record["faulty"])
+        return cls(**record)

@@ -36,7 +36,24 @@ from .metrics import ServiceMetrics
 from .requests import DiagnosisRequest, DiagnosisResponse
 from .store import ResultStore
 
-__all__ = ["DiagnosisService"]
+__all__ = ["DiagnosisService", "RejectedError"]
+
+
+class RejectedError(RuntimeError):
+    """A request shed by admission control (queue at ``max_queue_depth``).
+
+    The in-process face of HTTP 429: the service answers immediately instead
+    of queueing without bound, and the caller decides whether to back off and
+    retry.  Store hits and in-flight coalesced joins are never rejected —
+    they consume no queue slot.
+    """
+
+    def __init__(self, depth: int, limit: int) -> None:
+        super().__init__(
+            f"queue full: {depth} requests pending (max_queue_depth={limit})"
+        )
+        self.depth = depth
+        self.limit = limit
 
 
 @dataclass
@@ -77,6 +94,14 @@ class DiagnosisService:
     store:
         Optional :class:`~repro.service.store.ResultStore` for persistent
         request dedup.
+    max_queue_depth:
+        Admission control: a request that would push the number of queued
+        (not yet dispatched) requests past this bound is refused with
+        :class:`RejectedError` instead of enqueued — the service degrades
+        under overload by shedding, not by growing an unbounded queue.
+        ``None`` (default) admits everything.  Requests answered without a
+        queue slot — store hits and in-flight coalesced duplicates — are
+        never shed.
     """
 
     def __init__(
@@ -89,15 +114,19 @@ class DiagnosisService:
         topology_cache_capacity: int = 16,
         store: ResultStore | None = None,
         metrics: ServiceMetrics | None = None,
+        max_queue_depth: int | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if batch_delay < 0:
             raise ValueError("batch_delay must be non-negative")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1 (or None)")
         self.pool = pool
         self.coalesce = coalesce
         self.max_batch_size = max_batch_size
         self.batch_delay = batch_delay
+        self.max_queue_depth = max_queue_depth
         self.store = store
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._topologies: LRUCache[str, tuple] = LRUCache(
@@ -202,11 +231,11 @@ class DiagnosisService:
         validate_request(request)
         loop = asyncio.get_running_loop()
         enqueued_at = loop.time()
-        self.metrics.record_enqueue(self._pending_total)
 
         if self.store is not None:
             stored = self.store.get(request)
             if stored is not None:
+                self.metrics.record_enqueue(self._pending_total)
                 latency = loop.time() - enqueued_at
                 response = replace(stored, elapsed_seconds=latency)
                 self.metrics.record_response("store", latency, ok=response.ok)
@@ -214,6 +243,7 @@ class DiagnosisService:
 
         key = request.key
         if self.coalesce and key in self._inflight:
+            self.metrics.record_enqueue(self._pending_total)
             response = await asyncio.shield(self._inflight[key])
             latency = loop.time() - enqueued_at
             response = replace(
@@ -221,6 +251,15 @@ class DiagnosisService:
             )
             self.metrics.record_response("coalesced", latency, ok=response.ok)
             return response
+
+        # The request needs a queue slot from here on: admission control
+        # sheds it *now* if the queue is already at its bound, so overload
+        # turns into immediate, retryable refusals instead of latency.
+        if (self.max_queue_depth is not None
+                and self._pending_total >= self.max_queue_depth):
+            self.metrics.record_rejection(self._pending_total)
+            raise RejectedError(self._pending_total, self.max_queue_depth)
+        self.metrics.record_enqueue(self._pending_total)
 
         future: asyncio.Future = loop.create_future()
         if self.coalesce:
@@ -370,6 +409,7 @@ class DiagnosisService:
         """The ``stats`` endpoint: telemetry + cache + store in one dict."""
         body = self.metrics.snapshot()
         body["pending"] = self._pending_total
+        body["max_queue_depth"] = self.max_queue_depth
         body["coalescing"] = self.coalesce
         body["pooled"] = self.pool is not None
         body["topology_cache"] = self._topologies.stats().as_dict()

@@ -102,6 +102,28 @@ class TestServiceDifferential:
         assert stats["worker_compiles"] == 0
         assert stats["worker_pair_builds"] == 0
 
+    def test_http_transport_matches_direct_on_every_family(self, tiny_network):
+        """The full wire path — JSON encode, HTTP frame, parse, serve,
+        serialise, parse back — must not change a single answer."""
+        from repro.service import HttpClient, HttpFrontend
+
+        requests = _family_requests(tiny_network)
+
+        async def over_the_wire():
+            service = DiagnosisService(store=ResultStore())
+            async with HttpFrontend(service) as frontend:
+                async with HttpClient(frontend.host, frontend.port) as client:
+                    responses = []
+                    for request in requests:
+                        status, response = await client.diagnose(request)
+                        assert status == 200, (tiny_network.family, status)
+                        responses.append(response)
+            await service.close()
+            return responses
+
+        responses = asyncio.run(over_the_wire())
+        _assert_matches_direct(tiny_network, requests, responses)
+
     def test_store_served_repeats_stay_identical(self, q5):
         request = DiagnosisRequest.seeded("hypercube", {"dimension": 5}, seed=17)
         store = ResultStore()

@@ -89,6 +89,43 @@ class TestEviction:
         cache.clear()  # clear never fires the hook
         assert evicted == [("a", 1), ("b", 2), ("c", 3)]
 
+    def test_replacing_a_key_fires_on_evict_for_the_displaced_value(self):
+        """Regression: a replaced entry must release what it pins (a pooled
+        topology's shm segment), exactly like a capacity eviction."""
+        evicted = []
+        cache = LRUCache(4, on_evict=lambda key, value: evicted.append((key, value)))
+        cache.put("k", "old")
+        cache.put("k", "new")
+        assert evicted == [("k", "old")]
+        assert cache.stats().evictions == 1
+        assert cache.get("k") == "new"
+        assert len(cache) == 1
+
+    def test_replacing_with_the_same_object_is_a_refresh_not_an_eviction(self):
+        evicted = []
+        value = object()
+        cache = LRUCache(4, on_evict=lambda key, val: evicted.append(val))
+        cache.put("k", value)
+        cache.put("k", value)
+        assert evicted == []
+        assert cache.stats().evictions == 0
+
+    def test_replacement_handles_stored_none(self):
+        evicted = []
+        cache = LRUCache(4, on_evict=lambda key, val: evicted.append(val))
+        cache.put("k", None)
+        cache.put("k", "value")
+        assert evicted == [None]
+        assert cache.stats().evictions == 1
+
+    def test_replacement_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh: "b" is now least recent
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
     def test_clear_keeps_counters(self):
         cache = LRUCache(2)
         cache.put("a", 1)

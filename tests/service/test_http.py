@@ -1,0 +1,359 @@
+"""HTTP/JSON frontend: endpoints, framing, shedding, drain, wire parity."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import (
+    BackgroundHttpServer,
+    DiagnosisRequest,
+    DiagnosisService,
+    HttpClient,
+    HttpFrontend,
+    ResultStore,
+    parse_http_target,
+)
+from repro.service.executor import run_direct
+
+Q6 = ("hypercube", {"dimension": 6})
+
+
+def _request(seed: int = 0, instance=Q6, **kwargs) -> DiagnosisRequest:
+    return DiagnosisRequest.seeded(*instance, seed=seed, **kwargs)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_frontend(inner, **service_kwargs):
+    service = DiagnosisService(**service_kwargs)
+    async with HttpFrontend(service) as frontend:
+        async with HttpClient(frontend.host, frontend.port) as client:
+            result = await inner(client, frontend, service)
+    await service.close()
+    return result
+
+
+class TestEndpoints:
+    def test_healthz(self):
+        async def inner(client, frontend, service):
+            return await client.healthz()
+
+        body = _run(_with_frontend(inner))
+        assert body["ok"] is True
+        assert body["pending"] == 0
+
+    def test_diagnose_single_matches_direct(self):
+        request = _request(3)
+
+        async def inner(client, frontend, service):
+            return await client.diagnose(request)
+
+        status, response = _run(_with_frontend(inner))
+        direct = run_direct(request)
+        assert status == 200
+        assert response.faulty == direct.faulty
+        assert response.healthy_root == direct.healthy_root
+        assert response.lookups == direct.lookups
+        assert response.syndrome_digest == direct.syndrome_digest
+
+    def test_diagnose_batch_body(self):
+        requests = [_request(seed) for seed in range(3)]
+
+        async def inner(client, frontend, service):
+            status, payload = await client.request(
+                "POST", "/diagnose",
+                {"requests": [request.to_wire() for request in requests]},
+            )
+            return status, payload
+
+        status, payload = _run(_with_frontend(inner))
+        assert status == 200
+        assert len(payload["responses"]) == 3
+        for request, entry in zip(requests, payload["responses"]):
+            assert tuple(entry["faulty"]) == run_direct(request).faulty
+
+    def test_explicit_syndrome_over_the_wire(self, q5):
+        from repro.backend.array_syndrome import ArraySyndrome
+        from repro.backend.csr import compile_network
+        from repro.core.faults import random_faults
+
+        faults = random_faults(q5, 3, seed=4)
+        syndrome = ArraySyndrome.from_faults(compile_network(q5), faults, seed=4)
+        request = DiagnosisRequest.from_syndrome(
+            "hypercube", {"dimension": 5}, syndrome
+        )
+
+        async def inner(client, frontend, service):
+            return await client.diagnose(request)
+
+        status, response = _run(_with_frontend(inner))
+        assert status == 200
+        assert response.faulty_set == faults
+
+    def test_stats_includes_service_and_http_sections(self):
+        async def inner(client, frontend, service):
+            await client.diagnose(_request(0))
+            return await client.stats()
+
+        stats = _run(_with_frontend(inner, store=ResultStore()))
+        assert stats["requests"] == 1
+        assert stats["store"]["results"] == 1
+        assert stats["http"]["requests"] == 2  # the diagnose + this stats call
+        assert stats["http"]["connections_total"] == 1
+        assert stats["http"]["shed"] == 0
+
+    def test_keep_alive_reuses_one_connection(self):
+        async def inner(client, frontend, service):
+            for seed in range(3):
+                status, _ = await client.diagnose(_request(seed))
+                assert status == 200
+            return frontend.connections_total
+
+        assert _run(_with_frontend(inner)) == 1
+
+
+class TestErrors:
+    def test_unknown_path_404(self):
+        async def inner(client, frontend, service):
+            return await client.request("GET", "/nope")
+
+        status, payload = _run(_with_frontend(inner))
+        assert status == 404
+        assert "/diagnose" in payload["error"]
+
+    def test_wrong_method_405(self):
+        async def inner(client, frontend, service):
+            first = await client.request("POST", "/stats")
+            second = await client.request("GET", "/diagnose")
+            return first, second
+
+        (status_a, body_a), (status_b, body_b) = _run(_with_frontend(inner))
+        assert status_a == 405 and "GET" in body_a["error"]
+        assert status_b == 405 and "POST" in body_b["error"]
+
+    def test_invalid_json_reports_position(self):
+        async def inner(client, frontend, service):
+            client._writer.write(
+                b"POST /diagnose HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\n  oops}"
+            )
+            await client._writer.drain()
+            return await client._read_response()
+
+        status, payload = _run(_with_frontend(inner))
+        assert status == 400
+        assert payload["error"].startswith("body:2:3:")
+
+    def test_bad_request_fields_400(self):
+        async def inner(client, frontend, service):
+            single = await client.request(
+                "POST", "/diagnose", {"family": "hypercube", "bogus": 1}
+            )
+            batch = await client.request(
+                "POST", "/diagnose",
+                {"requests": [
+                    {"family": "hypercube", "params": {"dimension": 5}},
+                    {"family": "hypercube", "params": {"dimension": "x"}},
+                ]},
+            )
+            return single, batch
+
+        (status_a, body_a), (status_b, body_b) = _run(_with_frontend(inner))
+        assert status_a == 400 and "bogus" in body_a["error"]
+        assert status_b == 400 and body_b["error"].startswith("requests[1]:")
+
+    def test_empty_batch_rejected(self):
+        async def inner(client, frontend, service):
+            return await client.request("POST", "/diagnose", {"requests": []})
+
+        status, payload = _run(_with_frontend(inner))
+        assert status == 400
+        assert "non-empty" in payload["error"]
+
+    def test_constructor_level_failure_is_400_not_500(self):
+        async def inner(client, frontend, service):
+            return await client.request(
+                "POST", "/diagnose",
+                {"family": "hypercube", "params": {"dim": 7}},
+            )
+
+        status, payload = _run(_with_frontend(inner))
+        assert status == 400
+        assert "dim" in payload["error"]
+
+    def test_execution_errors_stay_in_band(self):
+        """A Theorem-1 violation is an error *response* (200), not an HTTP error."""
+        doomed = DiagnosisRequest.seeded("pancake", {"n": 4}, fault_count=14)
+
+        async def inner(client, frontend, service):
+            return await client.diagnose(doomed)
+
+        status, response = _run(_with_frontend(inner))
+        assert status == 200
+        assert not response.ok
+        assert response.error == run_direct(doomed).error
+
+    def test_malformed_request_line_400(self):
+        async def inner(client, frontend, service):
+            client._writer.write(b"NONSENSE\r\n\r\n")
+            await client._writer.drain()
+            return await client._read_response()
+
+        status, payload = _run(_with_frontend(inner))
+        assert status == 400
+        assert "request line" in payload["error"]
+
+
+class TestAdmissionControl:
+    def test_shed_single_requests_answer_429_with_retry_after(self):
+        # One keep-alive connection serialises its requests, so saturation
+        # needs several connections — one client per request, fired together
+        # into a long (0.2 s) coalescing window so the queue bound engages.
+        async def saturate():
+            service = DiagnosisService(max_queue_depth=2, batch_delay=0.2)
+            async with HttpFrontend(service) as frontend:
+                clients = [
+                    HttpClient(frontend.host, frontend.port) for _ in range(5)
+                ]
+                for client in clients:
+                    await client.connect()
+                try:
+                    results = await asyncio.gather(*(
+                        client.request(
+                            "POST", "/diagnose", _request(seed).to_wire()
+                        )
+                        for seed, client in enumerate(clients)
+                    ))
+                finally:
+                    for client in clients:
+                        await client.close()
+                shed = frontend.shed
+            await service.close()
+            return results, shed
+
+        results, shed = _run(saturate())
+        statuses = sorted(status for status, _ in results)
+        assert statuses.count(429) >= 1
+        assert statuses.count(200) >= 2
+        assert shed == statuses.count(429)
+        for status, payload in results:
+            if status == 429:
+                assert "queue full" in payload["error"]
+
+    def test_batch_body_sheds_per_item(self):
+        async def inner(client, frontend, service):
+            body = {"requests": [_request(seed).to_wire() for seed in range(5)]}
+            return await client.request("POST", "/diagnose", body)
+
+        status, payload = _run(
+            _with_frontend(inner, max_queue_depth=2, batch_delay=0.05)
+        )
+        assert status == 200
+        entries = payload["responses"]
+        served = [entry for entry in entries if "faulty" in entry]
+        rejected = [entry for entry in entries if entry.get("rejected")]
+        assert len(served) == 2
+        assert len(rejected) == 3
+        assert all("queue full" in entry["error"] for entry in rejected)
+        # The served ones are still bit-identical to the direct pipeline.
+        for seed, entry in enumerate(entries):
+            if "faulty" in entry:
+                assert tuple(entry["faulty"]) == run_direct(_request(seed)).faulty
+
+
+class TestLifecycle:
+    def test_graceful_drain_finishes_inflight_requests(self):
+        async def scenario():
+            service = DiagnosisService(batch_delay=0.05)
+            frontend = HttpFrontend(service)
+            await frontend.start()
+            client = HttpClient(frontend.host, frontend.port)
+            await client.connect()
+            post = asyncio.create_task(client.diagnose(_request(0)))
+            await asyncio.sleep(0.01)  # the request is in the open window
+            await frontend.close()
+            status, response = await post
+            await client.close()
+            await service.close()
+            return status, response
+
+        status, response = _run(scenario())
+        assert status == 200
+        assert response.faulty == run_direct(_request(0)).faulty
+
+    def test_ephemeral_port_is_reported(self):
+        async def scenario():
+            service = DiagnosisService()
+            async with HttpFrontend(service, port=0) as frontend:
+                assert frontend.port != 0
+                assert str(frontend.port) in frontend.address
+            await service.close()
+
+        _run(scenario())
+
+    def test_background_server_runs_from_sync_code(self):
+        with BackgroundHttpServer(
+            lambda: DiagnosisService(store=ResultStore())
+        ) as server:
+            async def drive():
+                async with HttpClient("127.0.0.1", server.port) as client:
+                    status, response = await client.diagnose(_request(1))
+                    again_status, again = await client.diagnose(_request(1))
+                    return status, response, again_status, again
+
+            status, response, again_status, again = asyncio.run(drive())
+        assert status == again_status == 200
+        assert again.source == "store"
+        assert again.faulty == response.faulty
+        assert server.final_stats["http"]["requests"] == 2
+
+    def test_background_server_factory_error_surfaces(self):
+        def explode():
+            raise RuntimeError("factory broke")
+
+        with pytest.raises(RuntimeError, match="factory broke"):
+            with BackgroundHttpServer(explode):
+                pass  # pragma: no cover - never entered
+
+
+class TestTargetParsing:
+    def test_accepted_forms(self):
+        assert parse_http_target("http://127.0.0.1:8091") == ("127.0.0.1", 8091)
+        assert parse_http_target("localhost:80") == ("localhost", 80)
+        assert parse_http_target(":9000") == ("127.0.0.1", 9000)
+
+    def test_rejected_forms(self):
+        with pytest.raises(ValueError, match="explicit port"):
+            parse_http_target("http://localhost")
+        with pytest.raises(ValueError, match="http://"):
+            parse_http_target("https://localhost:443")
+
+
+class TestWireCodecs:
+    def test_request_roundtrip_seeded_and_explicit(self):
+        seeded = _request(5, placement="clustered", behavior="mimic")
+        assert DiagnosisRequest.from_dict(seeded.to_wire()) == seeded
+        explicit = DiagnosisRequest.from_syndrome(
+            "hypercube", {"dimension": 5}, b"\x01\x02\x03"
+        )
+        assert DiagnosisRequest.from_dict(explicit.to_wire()) == explicit
+
+    def test_syndrome_hex_rejects_seeded_fields(self):
+        with pytest.raises(ValueError, match="cannot combine"):
+            DiagnosisRequest.from_dict(
+                {"family": "hypercube", "syndrome_hex": "00", "seed": 1}
+            )
+        with pytest.raises(ValueError, match="bad syndrome_hex"):
+            DiagnosisRequest.from_dict(
+                {"family": "hypercube", "syndrome_hex": "zz"}
+            )
+
+    def test_response_wire_roundtrip(self):
+        request = _request(2)
+        direct = run_direct(request)
+        decoded = type(direct).from_wire(json.loads(json.dumps(direct.to_wire())))
+        assert decoded == direct

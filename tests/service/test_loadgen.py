@@ -77,4 +77,55 @@ class TestRuns:
         assert summary["clients"] == 3
         assert summary["requests"] == 12
         assert set(summary["sources"]) == {"computed", "store", "coalesced"}
+        assert summary["rejections"] == 0
         assert "stats" in summary
+
+
+class TestHttpTransport:
+    def test_http_load_verifies_against_direct(self):
+        from repro.service import (
+            BackgroundHttpServer,
+            DiagnosisService,
+            run_load_http_sync,
+        )
+
+        spec = _spec()
+        with BackgroundHttpServer(
+            lambda: DiagnosisService(store=ResultStore())
+        ) as server:
+            report = run_load_http_sync(spec, server.address, verify=True)
+        assert report.requests == 12
+        assert report.mismatches == 0
+        assert report.errors == 0
+        assert report.rejections == 0
+        # The report's stats came over the wire from /stats.
+        assert report.stats["requests"] == 12
+        assert report.stats["http"]["connections_total"] == spec.clients + 1
+
+    def test_http_load_absorbs_shedding_and_counts_it(self):
+        from repro.service import (
+            BackgroundHttpServer,
+            DiagnosisService,
+            run_load_http_sync,
+        )
+
+        spec = _spec(clients=4, requests_per_client=3)
+        with BackgroundHttpServer(
+            lambda: DiagnosisService(max_queue_depth=1, batch_delay=0.05)
+        ) as server:
+            report = run_load_http_sync(
+                spec, server.address, verify=True, retry_delay=0.01
+            )
+        # Every request was eventually served and verified...
+        assert report.requests == 12
+        assert report.mismatches == 0
+        # ...and the saturating spec (4 concurrent clients, queue bound 1,
+        # a 50 ms window) forced at least one 429 along the way.
+        assert report.rejections >= 1
+        assert report.stats["rejected"] == report.rejections
+
+    def test_bad_target_rejected(self):
+        from repro.service import run_load_http_sync
+
+        with pytest.raises(ValueError, match="explicit port"):
+            run_load_http_sync(_spec(), "http://localhost")

@@ -31,6 +31,55 @@ class TestHistogram:
         assert Histogram().summary() == {"count": 0}
         assert Histogram().quantile(0.5) == 0.0
 
+    def test_empty_histogram_pins(self):
+        """Empty-histogram behavior is part of the stats contract."""
+        histogram = Histogram()
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.min is None and histogram.max is None
+
+    def test_quantile_zero_pins(self):
+        singleton = Histogram()
+        singleton.record(0.37)
+        # min == max: every quantile clamps to the one observation.
+        assert singleton.quantile(0.0) == pytest.approx(0.37)
+        assert singleton.quantile(1.0) == pytest.approx(0.37)
+        spread = Histogram()
+        for value in (0.002, 0.04, 0.9):
+            spread.record(value)
+        # q=0 lands in the lowest occupied bucket, clamped below by min.
+        assert spread.quantile(0.0) >= spread.min
+        assert spread.quantile(0.0) <= spread._bucket_upper(spread._bucket(0.002))
+
+    def test_bucket_boundaries_are_stable(self):
+        """Regression: values on a bucket's upper bound must land *in* that
+        bucket, however the float log quotient rounds."""
+        histogram = Histogram(smallest=1e-5, growth=1.2)
+        for index in range(1, 120):
+            upper = histogram._bucket_upper(index)
+            assert histogram._bucket(upper) == index, index
+            # Nudging above the bound moves to (exactly) the next bucket.
+            assert histogram._bucket(upper * (1 + 1e-12)) == index + 1, index
+
+    def test_bucket_boundaries_stable_across_growth_factors(self):
+        for smallest, growth in ((1.0, 1.5), (1e-5, 1.2), (0.5, 2.0), (1e-3, 1.07)):
+            histogram = Histogram(smallest=smallest, growth=growth)
+            assert histogram._bucket(smallest) == 0
+            for index in range(1, 80):
+                upper = histogram._bucket_upper(index)
+                assert histogram._bucket(upper) == index, (smallest, growth, index)
+
+    def test_bucket_is_monotone_and_brackets_values(self):
+        histogram = Histogram(smallest=1e-4, growth=1.3)
+        values = [1e-5 * 1.17 ** k for k in range(200)]
+        indices = [histogram._bucket(value) for value in values]
+        assert indices == sorted(indices)
+        for value, index in zip(values, indices):
+            assert value <= histogram._bucket_upper(index)
+            if index >= 1:
+                assert value > histogram._bucket_upper(index - 1)
+
     def test_summary_scaling(self):
         histogram = Histogram()
         histogram.record(0.5)
@@ -66,6 +115,19 @@ class TestServiceMetrics:
     def test_unknown_source_rejected(self):
         with pytest.raises(ValueError):
             ServiceMetrics().record_response("cache", 0.1)
+
+    def test_rejection_accounting(self):
+        metrics = ServiceMetrics()
+        metrics.record_enqueue(0)
+        metrics.record_rejection(4)
+        metrics.record_rejection(5)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 3  # rejections are requests too
+        assert snapshot["rejected"] == 2
+        # Shed requests still feed the queue-depth telemetry that motivated
+        # the admission bound in the first place.
+        assert snapshot["queue_depth"]["count"] == 3
+        assert snapshot["queue_depth"]["max"] == 5.0
 
     def test_batch_accounting(self):
         metrics = ServiceMetrics()

@@ -1,0 +1,153 @@
+"""Property tests: LRU cache accounting and histogram bucketing invariants.
+
+Randomised (but seeded) operation sequences against a transparent reference
+model — the style of check that caught neither the replacement-leak nor the
+boundary-bucket bug when each was a single hand-picked example away.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.service.cache import LRUCache
+from repro.service.metrics import Histogram
+
+KEYS = list("abcdefgh")
+
+
+class _Tracker:
+    """Records every on_evict call and checks it against the cache's books."""
+
+    def __init__(self) -> None:
+        self.evicted: list[tuple] = []
+
+    def __call__(self, key, value) -> None:
+        self.evicted.append((key, value))
+
+
+def _check_invariants(cache: LRUCache, tracker: _Tracker, live: dict) -> None:
+    stats = cache.stats()
+    # Accounting invariant: the eviction counter counts exactly the on_evict
+    # calls — owners of external resources can reconcile against it.
+    assert stats.evictions == len(tracker.evicted)
+    # Bounding invariant: never over capacity.
+    assert len(cache) <= cache.capacity
+    assert stats.size == len(cache)
+    # Conservation: everything ever put is either live in the cache or was
+    # handed to on_evict (values are unique objects, so counts match).
+    assert len(live) == len(cache)
+    for key in cache:
+        assert key in live
+
+
+class TestLRUCacheProperties:
+    def test_random_operation_sequences_keep_the_books(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            tracker = _Tracker()
+            cache: LRUCache = LRUCache(rng.randint(0, 5), on_evict=tracker)
+            live: dict = {}  # reference model of what the cache holds
+            counter = 0
+            for _ in range(300):
+                operation = rng.random()
+                if operation < 0.45:
+                    key = rng.choice(KEYS)
+                    value = (key, counter)  # unique value per put
+                    counter += 1
+                    cache.put(key, value)
+                    displaced = live.pop(key, None)
+                    live[key] = value
+                    if cache.capacity == 0:
+                        del live[key]
+                    elif displaced is not None:
+                        pass  # replacement: displaced went to on_evict
+                    while len(live) > cache.capacity:
+                        oldest = next(iter(live))
+                        del live[oldest]
+                elif operation < 0.8:
+                    key = rng.choice(KEYS)
+                    value = cache.get(key)
+                    if key in live:
+                        assert value == live[key]
+                        live[key] = live.pop(key)  # refresh recency in model
+                    else:
+                        assert value is None
+                elif operation < 0.95:
+                    capacity = rng.randint(0, 5)
+                    cache.resize(capacity)
+                    while len(live) > capacity:
+                        oldest = next(iter(live))
+                        del live[oldest]
+                else:
+                    cache.clear()
+                    live.clear()
+                _check_invariants(cache, tracker, live)
+
+    def test_model_agreement_on_eviction_order(self):
+        """The cache evicts exactly the model's LRU victim, every time."""
+        for seed in range(10):
+            rng = random.Random(1_000 + seed)
+            tracker = _Tracker()
+            cache: LRUCache = LRUCache(3, on_evict=tracker)
+            model: dict = {}
+            for step in range(200):
+                key = rng.choice(KEYS)
+                if rng.random() < 0.5:
+                    cache.put(key, step)
+                    if key in model:
+                        del model[key]  # replacement evicts the old value
+                    model[key] = step
+                    if len(model) > 3:
+                        victim = next(iter(model))
+                        del model[victim]
+                        assert tracker.evicted[-1][0] == victim
+                else:
+                    expected = model.get(key)
+                    assert cache.get(key) == expected
+                    if key in model:
+                        model[key] = model.pop(key)
+            assert list(cache) == list(model)  # same content, same LRU order
+
+    def test_capacity_zero_accounts_every_put(self):
+        tracker = _Tracker()
+        cache: LRUCache = LRUCache(0, on_evict=tracker)
+        for index in range(50):
+            cache.put(index % 3, index)
+        assert len(cache) == 0
+        assert cache.stats().evictions == 50
+        assert len(tracker.evicted) == 50
+
+
+class TestHistogramProperties:
+    def test_bucketing_brackets_every_value(self):
+        rng = random.Random(7)
+        for smallest, growth in ((1e-5, 1.2), (1.0, 1.5), (1e-3, 1.07)):
+            histogram = Histogram(smallest=smallest, growth=growth)
+            values = [smallest * growth ** (rng.random() * 60) for _ in range(500)]
+            values += [histogram._bucket_upper(k) for k in range(60)]
+            for value in values:
+                index = histogram._bucket(value)
+                assert value <= histogram._bucket_upper(index)
+                assert index == 0 or value > histogram._bucket_upper(index - 1)
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        rng = random.Random(11)
+        histogram = Histogram()
+        values = [rng.expovariate(20.0) + 1e-6 for _ in range(400)]
+        for value in values:
+            histogram.record(value)
+        quantiles = [histogram.quantile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+        assert all(histogram.min <= q <= histogram.max for q in quantiles)
+
+    def test_quantile_accuracy_within_growth_factor(self):
+        """Geometric buckets promise ~growth relative error; hold them to it."""
+        rng = random.Random(13)
+        histogram = Histogram(smallest=1e-5, growth=1.2)
+        values = sorted(rng.uniform(0.001, 1.0) for _ in range(1_000))
+        for value in values:
+            histogram.record(value)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = values[int(q * (len(values) - 1))]
+            estimate = histogram.quantile(q)
+            assert exact <= estimate <= exact * 1.2 * 1.0001

@@ -14,6 +14,7 @@ import pytest
 from repro.service import (
     DiagnosisRequest,
     DiagnosisService,
+    RejectedError,
     ResultStore,
 )
 from repro.service.executor import run_direct
@@ -169,6 +170,93 @@ class TestStoreIntegration:
         again = _serve(DiagnosisService(store=store), DOOMED)[0]
         assert not first.ok and not again.ok
         assert again.source == "store"
+
+
+class TestAdmissionControl:
+    def test_overflow_requests_are_shed_deterministically(self):
+        service = DiagnosisService(max_queue_depth=2, batch_delay=0.05)
+
+        async def run():
+            async with service:
+                outcomes = await asyncio.gather(
+                    *(service.submit(_request(seed)) for seed in range(5)),
+                    return_exceptions=True,
+                )
+            return outcomes
+
+        outcomes = asyncio.run(run())
+        # gather submits in order within one tick: the first two take the
+        # queue's slots, the remaining three shed — same split every run.
+        assert [isinstance(o, RejectedError) for o in outcomes] == [
+            False, False, True, True, True
+        ]
+        assert all(o.ok for o in outcomes[:2])
+        stats = service.stats()
+        assert stats["rejected"] == 3
+        assert stats["requests"] == 5
+        assert stats["computed"] == 2
+
+    def test_rejection_carries_depth_and_limit(self):
+        service = DiagnosisService(max_queue_depth=1, batch_delay=0.05)
+
+        async def run():
+            async with service:
+                first = asyncio.create_task(service.submit(_request(0)))
+                await asyncio.sleep(0)
+                with pytest.raises(RejectedError) as excinfo:
+                    await service.submit(_request(1))
+                await first
+                return excinfo.value
+
+        error = asyncio.run(run())
+        assert error.depth == 1 and error.limit == 1
+        assert "queue full" in str(error)
+
+    def test_store_hits_and_coalesced_joins_are_never_shed(self):
+        store = ResultStore()
+
+        async def run():
+            async with DiagnosisService(store=store) as warm:
+                await warm.submit(_request(0))
+            service = DiagnosisService(
+                store=store, max_queue_depth=1, batch_delay=0.05
+            )
+            async with service:
+                filler = asyncio.create_task(service.submit(_request(1)))
+                await asyncio.sleep(0)  # filler takes the only slot
+                duplicate = asyncio.create_task(service.submit(_request(1)))
+                await asyncio.sleep(0)
+                stored = await service.submit(_request(0))  # store hit
+                joined = await duplicate
+                await filler
+                return stored, joined
+
+        stored, joined = asyncio.run(run())
+        assert stored.source == "store"
+        assert joined.source == "coalesced"
+
+    def test_queue_drains_and_admits_again(self):
+        service = DiagnosisService(max_queue_depth=1, batch_delay=0.01)
+
+        async def run():
+            async with service:
+                first = await service.submit(_request(0))
+                second = await service.submit(_request(1))
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert first.ok and second.ok  # sequential: never over the bound
+        assert service.stats()["rejected"] == 0
+
+    def test_unbounded_by_default(self):
+        service = DiagnosisService(batch_delay=0.01)
+        responses = _serve(service, *(_request(seed) for seed in range(20)))
+        assert all(r.ok for r in responses)
+        assert service.stats()["rejected"] == 0
+
+    def test_invalid_max_queue_depth_rejected(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            DiagnosisService(max_queue_depth=0)
 
 
 class TestCancellation:

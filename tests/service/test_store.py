@@ -1,9 +1,24 @@
-"""Result store: content addressing, request indexing, persistence."""
+"""Result store: content addressing, request indexing, persistence, eviction."""
 
 from __future__ import annotations
 
+import pytest
+
 from repro.service.requests import DiagnosisRequest, DiagnosisResponse
 from repro.service.store import ResultStore
+
+
+class FakeClock:
+    """Deterministic injectable time source for eviction tests."""
+
+    def __init__(self, start: float = 1_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
 
 
 def _request(seed: int = 0, family: str = "hypercube") -> DiagnosisRequest:
@@ -98,3 +113,159 @@ class TestDedup:
             assert stats["results"] == 1
             assert stats["request_keys"] == 1
             assert stats["writes"] == 1
+            assert stats["ttl_seconds"] is None
+            assert stats["max_rows"] is None
+            assert stats["expired_evictions"] == 0
+            assert stats["lru_evictions"] == 0
+
+
+class TestEviction:
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError, match="ttl_seconds"):
+            ResultStore(ttl_seconds=0)
+        with pytest.raises(ValueError, match="max_rows"):
+            ResultStore(max_rows=0)
+
+    def test_row_bound_evicts_least_recently_used(self):
+        clock = FakeClock()
+        with ResultStore(max_rows=3, clock=clock) as store:
+            for seed, digest in enumerate("abcd"):
+                clock.advance(1)
+                store.put(_request(seed), _response(digest=digest * 64))
+            assert len(store) == 3
+            assert store.lru_evictions == 1
+            # "a" was least recently used: its request now misses.
+            assert store.get(_request(0)) is None
+            assert store.get(_request(3)) is not None
+            # The orphaned index entry went with the row.
+            assert store.request_count() == 3
+
+    def test_hits_refresh_last_used(self):
+        """LRU means least recently *used*: a read protects a row."""
+        clock = FakeClock()
+        with ResultStore(max_rows=2, clock=clock) as store:
+            store.put(_request(0), _response(digest="a" * 64))
+            clock.advance(1)
+            store.put(_request(1), _response(digest="b" * 64))
+            clock.advance(1)
+            assert store.get(_request(0)) is not None  # refresh row "a"
+            clock.advance(1)
+            store.put(_request(2), _response(digest="c" * 64))
+            assert store.get(_request(0)) is not None  # survived: "b" went
+            misses_before = store.misses
+            assert store.get(_request(1)) is None
+            assert store.misses == misses_before + 1
+
+    def test_ttl_sweeps_idle_rows_at_commit_time(self):
+        clock = FakeClock()
+        with ResultStore(ttl_seconds=10, clock=clock) as store:
+            store.put(_request(0), _response(digest="a" * 64))
+            clock.advance(5)
+            store.put(_request(1), _response(digest="b" * 64))
+            clock.advance(8)  # row "a" idle 13 s > TTL; "b" idle 8 s
+            store.put(_request(2), _response(digest="c" * 64))
+            assert len(store) == 2
+            assert store.expired_evictions == 1
+            assert store.get(_request(0)) is None
+            assert store.get(_request(1)) is not None
+
+    def test_explicit_evict_sweep_commits_and_persists(self, tmp_path):
+        path = tmp_path / "results.db"
+        clock = FakeClock()
+        with ResultStore(path, ttl_seconds=10, clock=clock) as store:
+            store.put(_request(0), _response(digest="a" * 64))
+            clock.advance(60)
+            assert store.evict() == 1
+            assert len(store) == 0
+        # The direct sweep committed: it survives the close (no rollback).
+        with ResultStore(path, clock=clock) as reopened:
+            assert len(reopened) == 0
+
+    def test_dedup_rewrite_refreshes_last_used(self):
+        """Recomputing a stored result counts as use, not a no-op."""
+        clock = FakeClock()
+        with ResultStore(max_rows=2, clock=clock) as store:
+            store.put(_request(0), _response(digest="a" * 64))
+            clock.advance(1)
+            store.put(_request(1), _response(digest="b" * 64))
+            clock.advance(1)
+            store.put(_request(5), _response(digest="a" * 64))  # dedup onto "a"
+            clock.advance(1)
+            store.put(_request(2), _response(digest="c" * 64))
+            assert store.get_by_digest("hypercube[dimension=5]", "a" * 64) is not None
+            assert store.get_by_digest("hypercube[dimension=5]", "b" * 64) is None
+
+    def test_restart_enforces_bound_against_inherited_rows(self, tmp_path):
+        """The acceptance case: a bound holds across restarts, and unexpired
+        repeats still serve from disk."""
+        path = tmp_path / "results.db"
+        clock = FakeClock()
+        with ResultStore(path, clock=clock) as store:  # unbounded writer
+            for seed, digest in enumerate("abcdef"):
+                clock.advance(1)
+                store.put(_request(seed), _response(digest=digest * 64))
+            assert len(store) == 6
+        with ResultStore(path, max_rows=2, clock=clock) as bounded:
+            assert len(bounded) == 2  # enforced at open, before any write
+            assert bounded.lru_evictions == 4
+            assert bounded.get(_request(5)) is not None  # most recent survived
+            assert bounded.get(_request(0)) is None
+            clock.advance(1)
+            bounded.put(_request(9), _response(digest="f" * 64))
+            assert len(bounded) <= 2
+
+    @staticmethod
+    def _legacy_database(path) -> None:
+        """A pre-eviction schema (no ``last_used``) holding one result."""
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            "CREATE TABLE results ("
+            " topology_key TEXT NOT NULL, syndrome_digest TEXT NOT NULL,"
+            " payload TEXT NOT NULL, PRIMARY KEY (topology_key, syndrome_digest));"
+            "CREATE TABLE request_index ("
+            " request_key TEXT PRIMARY KEY, topology_key TEXT NOT NULL,"
+            " syndrome_digest TEXT NOT NULL);"
+        )
+        conn.execute(
+            "INSERT INTO results VALUES (?, ?, ?)",
+            ("hypercube[dimension=5]", "a" * 64, _response(digest="a" * 64).to_payload()),
+        )
+        conn.commit()
+        conn.close()
+
+    def test_migration_adds_last_used_to_old_databases(self, tmp_path):
+        path = tmp_path / "old.db"
+        self._legacy_database(path)
+        with ResultStore(path) as store:
+            assert len(store) == 1
+            assert store.get_by_digest("hypercube[dimension=5]", "a" * 64) is not None
+
+    def test_migration_treats_inherited_rows_as_fresh_under_ttl(self, tmp_path):
+        """Enabling a TTL on an upgraded store must not wipe it at open:
+        migrated rows are stamped 'now', not 'idle since the epoch'."""
+        path = tmp_path / "old.db"
+        self._legacy_database(path)
+        clock = FakeClock()
+        with ResultStore(path, ttl_seconds=10, clock=clock) as store:
+            assert len(store) == 1  # survived the at-open sweep
+            clock.advance(60)  # ...but expires once genuinely idle
+            assert store.evict() == 1
+            assert len(store) == 0
+
+    def test_unbounded_store_hits_do_not_write(self, tmp_path):
+        """No eviction policy: a hit is read-only (no per-hit commit stall)."""
+        calls = []
+        with ResultStore(clock=lambda: calls.append(1) or 1000.0) as store:
+            store.put(_request(0), _response())
+            writes_before = len(calls)
+            assert store.get(_request(0)) is not None
+            assert len(calls) == writes_before  # clock untouched: no stamp
+
+    def test_on_disk_store_uses_wal(self, tmp_path):
+        with ResultStore(tmp_path / "results.db") as store:
+            mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+            timeout = store._conn.execute("PRAGMA busy_timeout").fetchone()[0]
+            assert timeout == 5000

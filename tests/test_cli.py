@@ -147,6 +147,95 @@ class TestServeCommand:
             main(["serve", "--batch-delay-ms", "-2"])
         with pytest.raises(SystemExit, match="--demo-requests"):
             main(["serve", "--demo-requests", "0"])
+        with pytest.raises(SystemExit, match="--max-queue"):
+            main(["serve", "--max-queue", "0"])
+        with pytest.raises(SystemExit, match="--store-ttl"):
+            main(["serve", "--store", "x.db", "--store-ttl", "0"])
+        with pytest.raises(SystemExit, match="--store-max-rows"):
+            main(["serve", "--store", "x.db", "--store-max-rows", "0"])
+        with pytest.raises(SystemExit, match="need --store"):
+            main(["serve", "--store-ttl", "60"])
+        with pytest.raises(SystemExit, match="need --store"):
+            main(["serve", "--store-max-rows", "10"])
+        with pytest.raises(SystemExit, match="0..65535"):
+            main(["serve", "--http", "70000"])
+        with pytest.raises(SystemExit, match="drop --requests"):
+            main(["serve", "--http", "0", "--requests", "x.jsonl"])
+        with pytest.raises(SystemExit, match="--ready-file"):
+            main(["serve", "--ready-file", "/tmp/ready.json"])
+
+    def test_stream_overflowing_its_own_max_queue_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="raise --max-queue"):
+            main(["serve", "--demo-requests", "8", "--max-queue", "1",
+                  "--batch-delay-ms", "50"])
+
+    def test_store_bounds_apply_to_stream_serving(self, capsys, tmp_path):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(
+                json.dumps({"family": "hypercube",
+                            "params": {"dimension": 6}, "seed": seed})
+                for seed in range(5)
+            )
+        )
+        store = tmp_path / "results.db"
+        code = main(["serve", "--requests", str(requests), "--store", str(store),
+                     "--store-max-rows", "2"])
+        assert code == 0
+        capsys.readouterr()
+
+        from repro.service import ResultStore
+
+        with ResultStore(store) as reopened:
+            assert len(reopened) <= 2
+
+    def test_stats_json_write_is_atomic(self, capsys, tmp_path, monkeypatch):
+        """A crash mid-dump must never leave truncated JSON behind."""
+        import json
+        import os
+
+        stats_path = tmp_path / "stats.json"
+        stats_path.write_text('{"previous": true}')
+        real_replace = os.replace
+        calls = []
+
+        def tracking_replace(src, dst):
+            calls.append((src, dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", tracking_replace)
+        code = main(["serve", "--demo-requests", "2",
+                     "--stats-json", str(stats_path)])
+        assert code == 0
+        assert json.loads(stats_path.read_text())["requests"] == 2
+        # The dump went through a same-directory temp file + rename.
+        assert len(calls) == 1
+        assert os.path.dirname(calls[0][0]) == str(tmp_path)
+        assert calls[0][1] == str(stats_path)
+        # No temp litter left behind.
+        assert os.listdir(tmp_path) == ["stats.json"]
+
+    def test_interrupted_stats_write_leaves_previous_content(self, tmp_path,
+                                                             monkeypatch,
+                                                             capsys):
+        import json
+        import os
+
+        stats_path = tmp_path / "stats.json"
+        stats_path.write_text('{"previous": true}')
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at rename time")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            main(["serve", "--demo-requests", "2",
+                  "--stats-json", str(stats_path)])
+        monkeypatch.undo()
+        assert json.loads(stats_path.read_text()) == {"previous": True}
+        assert os.listdir(tmp_path) == ["stats.json"]
 
 
 class TestLoadCommand:
@@ -180,6 +269,40 @@ class TestLoadCommand:
         assert code == 0
         assert "naive:" in out
 
+    def test_http_load_drives_a_live_server(self, capsys):
+        from repro.service import BackgroundHttpServer, DiagnosisService, ResultStore
+
+        with BackgroundHttpServer(
+            lambda: DiagnosisService(store=ResultStore())
+        ) as server:
+            code = main(["load", "--clients", "2", "--requests", "3",
+                         "--seed-pool", "2", "--instance", "hypercube:dimension=6",
+                         "--http", server.address, "--verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "http:" in out
+        assert "0 mismatches" in out
+
+    def test_http_load_shedding_expectation(self, capsys):
+        from repro.service import BackgroundHttpServer, DiagnosisService
+
+        with BackgroundHttpServer(
+            lambda: DiagnosisService(max_queue_depth=1, batch_delay=0.05)
+        ) as server:
+            code = main(["load", "--clients", "4", "--requests", "3",
+                         "--instance", "hypercube:dimension=6",
+                         "--http", server.address, "--verify",
+                         "--expect-rejections", "1"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "rejections" in out
+
+    def test_http_load_unreachable_server_exits_cleanly(self):
+        # A port from the ephemeral range with nothing listening.
+        with pytest.raises(SystemExit, match="failed"):
+            main(["load", "--clients", "1", "--requests", "1",
+                  "--http", "http://127.0.0.1:1"])
+
     def test_argument_validation(self):
         with pytest.raises(SystemExit, match="--clients"):
             main(["load", "--clients", "0"])
@@ -199,6 +322,64 @@ class TestLoadCommand:
             main(["load", "--instance", "mesh:n=3"])
         with pytest.raises(SystemExit, match="bad instance"):
             main(["load", "--instance", "hypercube:dimension"])
+        for flag in (["--naive"], ["--compare"], ["--workers", "2"],
+                     ["--store", "x.db"]):
+            with pytest.raises(SystemExit, match="drives a remote server"):
+                main(["load", "--http", "http://127.0.0.1:1", *flag])
+        with pytest.raises(SystemExit, match="needs --http"):
+            main(["load", "--expect-rejections", "1"])
+
+
+class TestServeHttpProcess:
+    def test_serve_http_full_lifecycle(self, tmp_path):
+        """Real process, real sockets: ready-file handshake, wire load with
+        shedding + verification, SIGTERM drain, atomic stats dump."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        ready = tmp_path / "ready.json"
+        stats = tmp_path / "stats.json"
+        store = tmp_path / "results.db"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--http", "0",
+             "--ready-file", str(ready), "--max-queue", "1",
+             "--batch-delay-ms", "50", "--store", str(store),
+             "--store-max-rows", "4", "--stats-json", str(stats)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not ready.exists():
+                assert server.poll() is None, server.stdout.read()
+                assert time.monotonic() < deadline, "server never became ready"
+                time.sleep(0.05)
+            port = json.loads(ready.read_text())["port"]
+            code = main(["load", "--http", f"http://127.0.0.1:{port}",
+                         "--clients", "4", "--requests", "3",
+                         "--instance", "hypercube:dimension=6",
+                         "--verify", "--expect-rejections", "1"])
+            assert code == 0
+        finally:
+            server.send_signal(signal.SIGTERM)
+            output, _ = server.communicate(timeout=30)
+        assert server.returncode == 0, output
+        assert "draining" in output
+        dumped = json.loads(stats.read_text())
+        assert dumped["http"]["shed"] >= 1
+        assert dumped["rejected"] == dumped["http"]["shed"]
+        assert dumped["store"]["results"] <= 4
+
+        from repro.service import ResultStore
+
+        with ResultStore(store) as reopened:
+            assert 0 < len(reopened) <= 4
 
 
 class TestShardedDiagnose:
