@@ -185,6 +185,98 @@ def measure_compiled_frontier(n: int, *, seed: int = 1, repetitions: int = 3) ->
     }
 
 
+def _available_memory_gib() -> float:
+    """Best-effort MemAvailable in GiB (0.0 when unreadable)."""
+    try:
+        with open("/proc/meminfo") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) / (1024 * 1024)
+    except OSError:
+        pass
+    return 0.0
+
+
+def measure_shm_frontier(n: int, *, seed: int = 1) -> dict:
+    """``Q_n`` through the pooled shared-memory path, end to end.
+
+    The coordinator compiles ``Q_n`` once (pair members included), publishes
+    the topology *and* the syndrome buffer to shared memory, and ships a
+    single explicit-syndrome request as one :func:`run_batch_task` — exactly
+    the serving path's pooled dispatch.  The worker maps both segments
+    zero-copy and runs the stacked kernel; the task's compile/pair-build
+    deltas are asserted zero, which is what makes dimensions this size
+    practical: a per-worker topology walk + compile at ``Q_20`` costs more
+    than the diagnosis itself, and the pair arrays alone are hundreds of MB.
+
+    The response is verified against a coordinator-side
+    ``GeneralDiagnoser.diagnose`` run on the same syndrome.
+    """
+    from repro.backend import ArraySyndrome
+    from repro.backend.csr import CSRAdjacency
+    from repro.networks.registry import create_network
+    from repro.parallel import WorkerPool
+    from repro.service.executor import run_batch_task
+    from repro.service.requests import DiagnosisRequest
+
+    build_start = time.perf_counter()
+    cube = create_network("hypercube", dimension=n)
+    csr = CSRAdjacency.from_network(cube)
+    cube._csr_adjacency = csr
+    csr.pair_members()  # coordinator-side warm-up, published with the topology
+    compile_s = time.perf_counter() - build_start
+
+    faults = random_faults(cube, n, seed=seed)
+    generation_start = time.perf_counter()
+    syndrome = ArraySyndrome.from_faults(csr, faults, seed=seed)
+    generation_s = time.perf_counter() - generation_start
+
+    # The syndrome travels out-of-band (the span below), so the request
+    # carries no bytes of its own — the wire form the service dispatches.
+    params = (("dimension", n),)
+    request = DiagnosisRequest(family="hypercube", params=params)
+    with WorkerPool(max_workers=1) as pool:
+        publish_start = time.perf_counter()
+        topology_handle = pool.publish_topology(csr, include_pair_members=True)
+        syndrome_handle = pool.publish_buffer(syndrome.values_array)
+        publish_s = time.perf_counter() - publish_start
+        task_start = time.perf_counter()
+        responses, stats = pool.submit(
+            run_batch_task, topology_handle, "hypercube", params, [request],
+            syndrome_handle, [(0, 0, csr.num_pairs)],
+        ).result()
+        task_s = time.perf_counter() - task_start
+        pool.release(syndrome_handle)
+
+    assert stats["compiles"] == 0, "worker recompiled a published topology"
+    assert stats["pair_builds"] == 0, "worker rebuilt published pair arrays"
+    assert stats["kernel_width"] == 1
+    response = responses[0]
+    assert response.error is None, response.error
+    assert set(response.faulty) == faults
+
+    reference = GeneralDiagnoser(cube).diagnose(
+        ArraySyndrome.from_faults(csr, faults, seed=seed)
+    )
+    assert set(response.faulty) == reference.faulty
+    assert response.healthy_root == reference.healthy_root
+    assert response.lookups == reference.lookups
+    return {
+        "dimension": n,
+        "num_nodes": cube.num_nodes,
+        "num_pairs": csr.num_pairs,
+        "num_faults": len(faults),
+        "lookups": response.lookups,
+        "compile_ms": round(compile_s * 1e3, 3),
+        "array_syndrome_generation_ms": round(generation_s * 1e3, 3),
+        "shm_publish_ms": round(publish_s * 1e3, 3),
+        "pooled_diagnose_ms": round(task_s * 1e3, 3),
+        "worker_compiles": stats["compiles"],
+        "worker_pair_builds": stats["pair_builds"],
+        "verified_against_direct": True,
+    }
+
+
 #: Family frontier rows: the k-ary and star-family instances tracked
 #: alongside the hypercube numbers (labels follow the experiment tables).
 FAMILY_FRONTIER: list[tuple[str, str, dict]] = [
@@ -367,6 +459,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     results = [measure_dimension(n) for n in dimensions]
     frontier = [] if reduced else [measure_compiled_frontier(n) for n in (16, 18)]
+    # Q_20 needs the shared-memory path (publishing the pair arrays once
+    # instead of rebuilding them per worker); Q_22 only where memory allows —
+    # its pair arrays and syndrome buffer run to several GiB.
+    shm_dimensions = [] if reduced else [20]
+    if not reduced and _available_memory_gib() >= 32.0:
+        shm_dimensions.append(22)
+    shm_frontier = [measure_shm_frontier(n) for n in shm_dimensions]
     families = [] if reduced else measure_families()
     distributed = measure_distributed(dimensions[-1])
     headline = results[-1]
@@ -389,6 +488,16 @@ def main(argv: list[str] | None = None) -> int:
                 "syndrome generation alone takes minutes at Q_16+)"
             ),
             "results": frontier,
+        },
+        "shm_frontier": {
+            "description": (
+                "pooled shared-memory rows past the single-process frontier: "
+                "topology + pair arrays + syndrome buffer published once, one "
+                "run_batch_task per diagnosis, zero worker-side compiles and "
+                "pair builds asserted, response verified against a direct "
+                "coordinator-side diagnose"
+            ),
+            "results": shm_frontier,
         },
         "family_frontier": {
             "description": (
@@ -421,6 +530,16 @@ def main(argv: list[str] | None = None) -> int:
             f"Q_{row['dimension']} (frontier): compile {row['compile_ms']:.0f} ms, "
             f"syndrome {row['array_syndrome_generation_ms']:.0f} ms, "
             f"diagnose {row['compiled_diagnose_ms']:.0f} ms"
+        )
+    for row in shm_frontier:
+        print(
+            f"Q_{row['dimension']} (shm frontier): compile "
+            f"{row['compile_ms']:.0f} ms, syndrome "
+            f"{row['array_syndrome_generation_ms']:.0f} ms, publish "
+            f"{row['shm_publish_ms']:.0f} ms, pooled diagnose "
+            f"{row['pooled_diagnose_ms']:.0f} ms "
+            f"(worker compiles {row['worker_compiles']}, pair builds "
+            f"{row['worker_pair_builds']})"
         )
     for row in families:
         print(

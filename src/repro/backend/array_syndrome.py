@@ -50,10 +50,19 @@ class ArraySyndrome(Syndrome):
         values,
         *,
         faults: Iterable[int] = frozenset(),
+        copy: bool = True,
     ) -> None:
         super().__init__()
         self.csr: CSRAdjacency = compile_network(topology)
-        buf = bytearray(values)
+        if not copy and isinstance(values, np.ndarray):
+            # Zero-copy adoption of an existing flat uint8 array — the serving
+            # path wraps shared-memory views this way, so a worker diagnosing
+            # an explicit syndrome never duplicates the buffer per process.
+            if values.dtype != np.uint8 or values.ndim != 1:
+                raise ValueError("copy=False needs a one-dimensional uint8 array")
+            buf = values
+        else:
+            buf = bytearray(values)
         if len(buf) != self.csr.num_pairs:
             raise ValueError(
                 f"expected {self.csr.num_pairs} test results, got {len(buf)}"
@@ -150,9 +159,21 @@ class ArraySyndrome(Syndrome):
         return self._buf[csr.pair_base[u] + pair_offset(i, j, d)]
 
     @property
-    def buffer(self) -> bytearray:
-        """The raw result buffer (read-only by convention; used by fast paths)."""
+    def buffer(self):
+        """The raw result buffer (read-only by convention; used by fast paths).
+
+        A ``bytearray`` normally; a flat ``uint8`` array when the syndrome
+        adopted one zero-copy (``copy=False``) — both index and slice the
+        same way, and ``bytes(buffer)`` works on either.
+        """
         return self._buf
+
+    @property
+    def values_array(self) -> np.ndarray:
+        """Zero-copy ``uint8`` array view of the buffer (vectorised paths)."""
+        if isinstance(self._buf, np.ndarray):
+            return self._buf
+        return np.frombuffer(self._buf, dtype=np.uint8)
 
     # ----------------------------------------------------------- conversions
     def __len__(self) -> int:

@@ -233,6 +233,30 @@ class CSRAdjacency:
         out[self.indices[hit]] = True
         return set(np.flatnonzero(out).tolist())
 
+    def boundary_many(self, member_rows) -> list[set[int]]:
+        """``N(U) \\ U`` for a stack of membership masks in one edge pass.
+
+        ``member_rows`` is a ``(B, num_nodes)`` boolean array (or a sequence
+        of per-run masks, e.g. the ``member_mask`` rows a stacked
+        ``set_builder_many`` run produces).  Row ``b`` of the result equals
+        ``boundary(member_rows[b])`` — the stacked form exists so a batched
+        diagnosis pays the edge-array gather once per batch, not once per
+        syndrome.
+        """
+        member_rows = np.asarray(member_rows, dtype=bool)
+        if member_rows.ndim != 2 or member_rows.shape[1] != self.num_nodes:
+            raise ValueError(
+                f"expected a (B, {self.num_nodes}) boolean stack, "
+                f"got shape {member_rows.shape}"
+            )
+        hit = member_rows[:, self.edge_src] & ~member_rows[:, self.indices]
+        boundaries: list[set[int]] = []
+        for row in hit:
+            out = np.zeros(self.num_nodes, dtype=bool)
+            out[self.indices[row]] = True
+            boundaries.append(set(np.flatnonzero(out).tolist()))
+        return boundaries
+
     # ---------------------------------------------------------------- dunders
     def __len__(self) -> int:
         return self.num_nodes

@@ -1,0 +1,144 @@
+/* Native inner loop of the stacked Set_Builder kernel.
+ *
+ * One call runs every expansion round (round 2 onward) for a whole batch of
+ * syndromes over one compiled CSR topology.  The semantics are transcribed
+ * from the numpy `_stacked_round` in set_builder.py and must stay
+ * bit-identical to it — the differential suite pins both paths against the
+ * sequential reference pipeline:
+ *
+ *   - Testers are visited in frontier order (sorted flat keys
+ *     `syndrome * n + node`, so syndrome-blocked and node-ascending), and
+ *     each tester's row positions in ascending order.  That flat order is
+ *     what makes first-zero admission and lookup discounting deterministic.
+ *   - A candidate occurrence is *consulted* (counted against its syndrome's
+ *     lookup budget) iff its key has not already been admitted this round;
+ *     the occurrence that admits a key is its first 0-result, and it is
+ *     consulted too.  Members as of round start are never candidates.
+ *   - The admitted keys, sorted ascending, form the next round's frontier.
+ *
+ * `member` doubles as the per-round scoreboard: 0 = outside the set,
+ * 1 = member, 2 = admitted this round (committed back to 1 before the next
+ * round begins, so the caller only ever sees 0/1).
+ *
+ * Built with the system C compiler on first use (see native.py); everything
+ * is C99 + libc, no Python API.
+ */
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef struct {
+    int64_t key;    /* flat syndrome * n + node */
+    int64_t tester; /* admitting tester (the new node's tree parent) */
+} admit_t;
+
+static int cmp_admit(const void *a, const void *b)
+{
+    int64_t ka = ((const admit_t *)a)->key;
+    int64_t kb = ((const admit_t *)b)->key;
+    return (ka > kb) - (ka < kb);
+}
+
+/* Returns 0 on success, a negative error code on invariant violation. */
+int64_t stacked_rounds(
+    const int64_t *indptr,          /* n + 1 */
+    const int32_t *indices,         /* num_entries, rows sorted ascending */
+    const int64_t *pair_indptr,     /* n + 1, per-node pair-slot base */
+    const uint8_t *const *buffers,  /* num_syndromes test-result arrays */
+    int64_t n,
+    int64_t num_syndromes,
+    const int64_t *frontier0,       /* round-1 admissions, sorted flat keys */
+    int64_t frontier0_len,
+    uint8_t *member,                /* num_syndromes * n */
+    int64_t *parent,                /* num_syndromes * n */
+    int64_t *lookups,               /* num_syndromes */
+    int64_t *rounds,                /* num_syndromes */
+    uint8_t *contributed,           /* num_syndromes * n */
+    int64_t *contrib_count)         /* num_syndromes */
+{
+    int64_t cap = num_syndromes * n;
+    int64_t *cur = malloc((size_t)cap * sizeof(int64_t));
+    admit_t *adm = malloc((size_t)cap * sizeof(admit_t));
+    if (cur == NULL || adm == NULL) {
+        free(cur);
+        free(adm);
+        return -1;
+    }
+    memcpy(cur, frontier0, (size_t)frontier0_len * sizeof(int64_t));
+    int64_t cur_len = frontier0_len;
+
+    while (cur_len > 0) {
+        int64_t n_adm = 0;
+        for (int64_t t = 0; t < cur_len; t++) {
+            int64_t key = cur[t];
+            int64_t b = key / n;
+            int64_t u = key - b * n;
+            int64_t p = parent[key];
+            int64_t lo = indptr[u];
+            int64_t d = indptr[u + 1] - lo;
+
+            /* The tester's sorted row holds its tree parent exactly once. */
+            int64_t pp = -1;
+            for (int64_t w = 0; w < d; w++) {
+                if (indices[lo + w] == p) {
+                    pp = w;
+                    break;
+                }
+            }
+            if (pp < 0) {
+                free(cur);
+                free(adm);
+                return -2;
+            }
+
+            const uint8_t *buf = buffers[b];
+            int64_t base = pair_indptr[u];
+            int64_t bn = b * n;
+            int64_t consulted = 0;
+            for (int64_t w = 0; w < d; w++) {
+                int64_t kv = bn + indices[lo + w];
+                if (member[kv]) /* member, or already admitted this round */
+                    continue;
+                consulted++;
+                int64_t i = w < pp ? w : pp;
+                int64_t j = w < pp ? pp : w;
+                int64_t slot = base + i * (2 * d - i - 1) / 2 + (j - i - 1);
+                if (buf[slot] == 0) {
+                    member[kv] = 2;
+                    adm[n_adm].key = kv;
+                    adm[n_adm].tester = u;
+                    n_adm++;
+                }
+            }
+            lookups[b] += consulted;
+        }
+        if (n_adm == 0)
+            break;
+
+        /* Ascending keys == syndrome-blocked, node-ascending next frontier. */
+        qsort(adm, (size_t)n_adm, sizeof(admit_t), cmp_admit);
+        int64_t last_b = -1;
+        for (int64_t a = 0; a < n_adm; a++) {
+            int64_t kv = adm[a].key;
+            int64_t u = adm[a].tester;
+            int64_t b = kv / n;
+            member[kv] = 1;
+            parent[kv] = u;
+            cur[a] = kv;
+            if (b != last_b) {
+                rounds[b]++;
+                last_b = b;
+            }
+            int64_t cu = b * n + u;
+            if (!contributed[cu]) {
+                contributed[cu] = 1;
+                contrib_count[b]++;
+            }
+        }
+        cur_len = n_adm;
+    }
+
+    free(cur);
+    free(adm);
+    return 0;
+}

@@ -37,9 +37,16 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from typing import Sequence
+
 from ..backend.csr import compile_network
 from ..networks.base import InterconnectionNetwork, PartitionClass
-from .set_builder import SetBuilderResult, certificate_node_budget, set_builder
+from .set_builder import (
+    SetBuilderResult,
+    certificate_node_budget,
+    set_builder,
+    set_builder_many,
+)
 from .syndrome import Syndrome
 
 __all__ = ["DiagnosisError", "ProbeRecord", "DiagnosisResult", "GeneralDiagnoser", "diagnose"]
@@ -324,6 +331,88 @@ class GeneralDiagnoser:
             lookups=syndrome.lookups - lookups_before,
             elapsed_seconds=elapsed,
         )
+
+    def diagnose_many(
+        self, syndromes: Sequence[Syndrome], *, include_sets: bool = True
+    ) -> list["DiagnosisResult | Exception"]:
+        """Diagnose a stack of syndromes with one batched final ``Set_Builder``.
+
+        The healthy-root search stays per-syndrome (its probes are tiny and
+        partition-restricted), but the network-sized final run — the bulk of
+        every diagnosis — executes as a single
+        :func:`~repro.core.set_builder.set_builder_many` pass over the whole
+        stack, followed by one stacked boundary computation.  Each returned
+        entry is **bit-identical** to what :meth:`diagnose` produces for the
+        same syndrome: accusation set, healthy root, probe records and the
+        consulted-entry count all match (pinned by ``tests/differential``).
+
+        Failures never poison batch mates: a syndrome whose root search
+        raises :class:`DiagnosisError` (or a ``ValueError``) yields the
+        *exception object* in its slot — the exact exception :meth:`diagnose`
+        would have raised — while the rest of the stack proceeds.  Syndromes
+        the stacked kernel cannot take (no compiled backend, a sharder
+        configured, or a non-``ArraySyndrome``) fall back to a sequential
+        :meth:`diagnose` per item, with the same per-item error capture.
+
+        ``include_sets=False`` skips materialising ``healthy_nodes`` and
+        ``tree_parent`` (they come back empty); ``faulty``, ``lookups`` and
+        the probe bookkeeping are always exact.  The serving layer uses this
+        light mode — its responses carry only the accusation set and
+        counters.  ``elapsed_seconds`` on every stacked result is the wall
+        clock of the whole batch call, not a per-item time.
+        """
+        from ..backend.array_syndrome import ArraySyndrome
+
+        start_time = time.perf_counter()
+        outcomes: list[DiagnosisResult | Exception | None] = [None] * len(syndromes)
+        stacked: list[int] = []
+        roots: list[int] = []
+        probe_records: list[list[ProbeRecord]] = []
+        levels: list[int | None] = []
+        lookups_before: list[int] = []
+        for pos, syndrome in enumerate(syndromes):
+            if (self.csr is None or self.sharder is not None
+                    or not isinstance(syndrome, ArraySyndrome)
+                    or syndrome.csr is not self.csr):
+                try:
+                    outcomes[pos] = self.diagnose(syndrome)
+                except (DiagnosisError, ValueError) as exc:
+                    outcomes[pos] = exc
+                continue
+            before = syndrome.lookups
+            try:
+                root, probes, level = self.find_healthy_root(syndrome)
+            except (DiagnosisError, ValueError) as exc:
+                outcomes[pos] = exc
+                continue
+            stacked.append(pos)
+            roots.append(root)
+            probe_records.append(probes)
+            levels.append(level)
+            lookups_before.append(before)
+
+        if stacked:
+            batch = [syndromes[pos] for pos in stacked]
+            finals = set_builder_many(
+                self.network, batch, roots,
+                diagnosability=self.delta, materialize=include_sets,
+            )
+            boundaries = self.csr.boundary_many(
+                [final.member_mask for final in finals]
+            )
+            elapsed = time.perf_counter() - start_time
+            for k, pos in enumerate(stacked):
+                outcomes[pos] = DiagnosisResult(
+                    faulty=frozenset(boundaries[k]),
+                    healthy_root=roots[k],
+                    healthy_nodes=frozenset(finals[k].nodes),
+                    tree_parent=finals[k].parent,
+                    probes=probe_records[k],
+                    partition_level=levels[k],
+                    lookups=batch[k].lookups - lookups_before[k],
+                    elapsed_seconds=elapsed,
+                )
+        return outcomes
 
     def _boundary(self, healthy: set[int]) -> set[int]:
         """Nodes adjacent to the healthy set but outside it (Theorem 1: the fault set)."""

@@ -1,0 +1,124 @@
+"""Optional native build of the stacked Set_Builder inner loop.
+
+The stacked kernel's hot loop is memory-bound element streaming — exactly the
+shape a C compiler turns into a single fused pass, where numpy is forced into
+one full-array sweep per operator.  When a system C compiler is available,
+``_stacked.c`` is built once into a tiny shared library (cached under the
+user's cache directory, keyed by source hash) and loaded through the stdlib
+``ctypes`` — no third-party dependency, no install step, nothing added to the
+environment.  When it is not — or when ``REPRO_NO_NATIVE`` is set — callers
+fall back to the pure-numpy round in ``set_builder.py``, which the
+differential suite pins bit-identical to the native pass.
+
+The compile is atomic (build to a temp name, ``os.replace`` into the cache)
+so racing processes — a worker pool warming up, parallel test runs — settle
+on one library without ever loading a half-written file.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from numpy.ctypeslib import ndpointer
+
+__all__ = ["load_stacked_kernel", "native_kernel_active"]
+
+_SOURCE = Path(__file__).with_name("_stacked.c")
+_COMPILERS = ("cc", "gcc", "clang")
+
+#: tri-state memo: "unset" -> not probed yet, None -> unavailable, else the
+#: configured ctypes function.  ``REPRO_NO_NATIVE`` (any non-empty value)
+#: forces the numpy path; tests flip ``_forced_off`` to exercise both.
+_kernel: object = "unset"
+_forced_off = bool(os.environ.get("REPRO_NO_NATIVE"))
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("XDG_CACHE_HOME")
+    base = Path(root) if root else Path.home() / ".cache"
+    directory = base / "repro-native"
+    directory.mkdir(mode=0o700, parents=True, exist_ok=True)
+    return directory
+
+
+def _compile(source: Path, target: Path) -> bool:
+    """Build ``source`` into ``target`` with the first working compiler."""
+    for compiler in _COMPILERS:
+        fd, temp = tempfile.mkstemp(
+            dir=str(target.parent), suffix=".so", prefix="build-"
+        )
+        os.close(fd)
+        try:
+            result = subprocess.run(
+                [compiler, "-O3", "-shared", "-fPIC", "-o", temp, str(source)],
+                capture_output=True,
+                timeout=120,
+            )
+            if result.returncode == 0:
+                os.replace(temp, target)
+                return True
+        except (OSError, subprocess.SubprocessError):
+            pass
+        finally:
+            if os.path.exists(temp):
+                os.unlink(temp)
+    return False
+
+
+def _configure(library: ctypes.CDLL):
+    fn = library.stacked_rounds
+    fn.restype = ctypes.c_int64
+    c = "C_CONTIGUOUS"
+    fn.argtypes = [
+        ndpointer(np.int64, flags=c),                  # indptr
+        ndpointer(np.int32, flags=c),                  # indices
+        ndpointer(np.int64, flags=c),                  # pair_indptr
+        ctypes.POINTER(ctypes.POINTER(ctypes.c_ubyte)),  # buffers
+        ctypes.c_int64,                                # n
+        ctypes.c_int64,                                # num_syndromes
+        ndpointer(np.int64, flags=c),                  # frontier0
+        ctypes.c_int64,                                # frontier0_len
+        ndpointer(np.uint8, flags=c),                  # member
+        ndpointer(np.int64, flags=c),                  # parent
+        ndpointer(np.int64, flags=c),                  # lookups
+        ndpointer(np.int64, flags=c),                  # rounds
+        ndpointer(np.uint8, flags=c),                  # contributed
+        ndpointer(np.int64, flags=c),                  # contrib_count
+    ]
+    return fn
+
+
+def load_stacked_kernel():
+    """The compiled ``stacked_rounds`` entry point, or ``None``.
+
+    Any failure along the way — no source, no compiler, a build error, a
+    load error — degrades silently to ``None``: the numpy path is always
+    there and always correct, the native pass is only ever a speedup.
+    """
+    global _kernel
+    if _forced_off:
+        return None
+    if _kernel != "unset":
+        return _kernel
+    _kernel = None
+    try:
+        source_text = _SOURCE.read_text()
+        tag = hashlib.sha256(source_text.encode()).hexdigest()[:16]
+        target = _cache_dir() / f"stacked-{tag}.so"
+        if not target.exists() and not _compile(_SOURCE, target):
+            return None
+        _kernel = _configure(ctypes.CDLL(str(target)))
+    except Exception:
+        _kernel = None
+    return _kernel
+
+
+def native_kernel_active() -> bool:
+    """Whether stacked batches will run the native inner loop."""
+    return load_stacked_kernel() is not None

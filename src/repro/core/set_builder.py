@@ -50,6 +50,7 @@ sorted rows.  The ``all_healthy`` certificate is sound on every path.
 
 from __future__ import annotations
 
+import ctypes
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -58,12 +59,18 @@ import numpy as np
 
 from ..backend.csr import compile_network
 from ..networks.base import InterconnectionNetwork
+from .native import load_stacked_kernel
 from .syndrome import Syndrome
 
 if TYPE_CHECKING:  # pragma: no cover - the runtime import is deferred (cycle)
     from ..backend.array_syndrome import ArraySyndrome
 
-__all__ = ["SetBuilderResult", "set_builder", "certificate_node_budget"]
+__all__ = [
+    "SetBuilderResult",
+    "set_builder",
+    "set_builder_many",
+    "certificate_node_budget",
+]
 
 
 @dataclass
@@ -573,7 +580,7 @@ def _set_builder_array_vectorized(
     candidate stops generating lookups once an earlier tester in the same
     round has already admitted it.
     """
-    buf = np.frombuffer(syndrome.buffer, dtype=np.uint8)
+    buf = syndrome.values_array
     lookups = 0
 
     n = csr.num_nodes
@@ -639,3 +646,294 @@ def _set_builder_array_vectorized(
         truncated=truncated,
         member_mask=member,
     )
+
+
+# --------------------------------------------------------------- stacked kernel
+def _stacked_round(csr, n, idx, member_flat, parent_flat, first0, buffers,
+                   frontier_keys, lookups):
+    """One expansion round over the concatenation of every active frontier.
+
+    The frontier concatenates all still-growing syndromes' round frontiers in
+    syndrome-blocked, node-ascending order (flat keys ``syndrome * n + node``),
+    so the flat gather order *within* one syndrome's block is exactly the
+    order the single-syndrome path visits — which is what keeps first-zero
+    admission and lookup discounting bit-identical per syndrome.  First-zero
+    admission runs over the flat keys: a key's first 0-result occurrence in
+    the global order is also the first in its own syndrome's local order, and
+    the comparisons behind the lookup discount never cross syndromes because
+    ``first0`` entries only ever point at occurrences of their own key.
+
+    The hot loop is memory-bound, not call-bound, so the layout is built for
+    traffic: element arrays use the narrow ``idx`` dtype, the candidate
+    subset is carried as *positions* (one ``flatnonzero``, then narrow
+    gathers) instead of repeated boolean compressions, per-tester metadata is
+    fetched through a segment index rather than repeated out to full element
+    width, and the persistent ``first0`` scoreboard is reset per round only
+    at the keys it actually touched (never rescanned end to end).
+
+    Mutates ``member_flat``/``parent_flat``/``first0``/``lookups`` in place
+    and returns the admitted keys (ascending — directly the next frontier)
+    with their admitting testers.
+    """
+    indices = csr.indices
+    empty = np.empty(0, dtype=idx)
+    num_syndromes = len(buffers)
+    sentinel = np.iinfo(idx).max
+
+    syn_of = frontier_keys // n
+    frontier = frontier_keys - syn_of * n
+    parents = parent_flat[frontier_keys]
+    ip_lo = csr.indptr[frontier]
+    counts = csr.indptr[frontier + 1] - ip_lo
+    seg_ends = np.cumsum(counts)
+    total = int(seg_ends[-1])
+    ip_lo = ip_lo.astype(idx)
+    counts_n = counts.astype(idx)
+
+    # Flat address into ``indices`` of every (tester, row position) element:
+    # one repeat of the per-segment shift plus a single arange, in place.
+    addr = np.repeat(ip_lo - (seg_ends - counts).astype(idx), counts)
+    addr += np.arange(total, dtype=idx)
+    nbr = indices[addr].astype(idx, copy=False)
+
+    # Each tester's sorted row holds its tree parent exactly once; the match
+    # positions come out in segment order, giving one parent offset per
+    # tester without a per-element companion array.
+    pos_t = addr[nbr == np.repeat(parents, counts)] - ip_lo
+    assert pos_t.shape == frontier.shape  # one parent per tester, aligned
+
+    key = np.repeat(frontier_keys - frontier, counts)  # syndrome * n
+    key += nbr
+    keep_pos = np.flatnonzero(~member_flat[key])
+    kept = keep_pos.size
+    if kept == 0:
+        return empty, empty
+
+    # Candidate attributes: per-element values sliced by position, per-tester
+    # values through the segment index (narrow gathers, no full-width copies).
+    seg_idx = np.repeat(np.arange(frontier.size, dtype=idx), counts)[keep_pos]
+    keys_c = key[keep_pos]
+    within_c = addr[keep_pos]
+    within_c -= ip_lo[seg_idx]
+    pos_c = pos_t[seg_idx]
+    i_c = np.minimum(within_c, pos_c)
+    j_c = np.maximum(within_c, pos_c)
+    d_c = counts_n[seg_idx]
+    slots = csr.pair_indptr[frontier].astype(idx)[seg_idx]
+    slots += i_c * (2 * d_c - i_c - 1) // 2 + (j_c - i_c - 1)
+
+    # Gather each candidate's test result from its own syndrome's buffer.
+    # Candidates are syndrome-blocked, so the per-syndrome slices fall out of
+    # the block boundaries: frontier-level ends (a searchsorted over the
+    # sorted frontier keys) -> element-level ends (prefix sums) -> kept-level
+    # ends (a searchsorted over the sorted positions).  B binary searches,
+    # never a per-candidate syndrome-id array.
+    fb = np.searchsorted(
+        frontier_keys, np.arange(1, num_syndromes + 1, dtype=np.int64) * n
+    )
+    elem_ends = np.concatenate(([0], seg_ends))[fb]
+    kb = np.concatenate(([0], np.searchsorted(keep_pos, elem_ends)))
+    val_c = np.empty(kept, dtype=np.uint8)
+    for b in range(num_syndromes):
+        lo, hi = kb[b], kb[b + 1]
+        if lo < hi:
+            val_c[lo:hi] = buffers[b][slots[lo:hi]]
+
+    # First-zero admission: the reversed assignment leaves each admitted
+    # key's *earliest* 0-result position; later occurrences of an admitted
+    # key are not consulted (the <= comparison is the lookup discount, and
+    # one running sum sliced at the block bounds credits it per syndrome).
+    zpos = np.flatnonzero(val_c == 0).astype(idx, copy=False)
+    zk = keys_c[zpos]
+    first0[zk[::-1]] = zpos[::-1]
+    counted = np.arange(kept, dtype=idx) <= first0[keys_c]
+    csum = np.concatenate(([0], np.cumsum(counted, dtype=np.int64)))
+    lookups += csum[kb[1:]] - csum[kb[:-1]]
+
+    # The admitted set is exactly the keys whose scoreboard entry left the
+    # sentinel this round — a linear scan of the (small, cache-resident)
+    # scoreboard, already ascending (= syndrome-blocked), instead of a sort
+    # over every zero-valued candidate.
+    added_keys = np.flatnonzero(first0 != sentinel).astype(idx, copy=False)
+    if added_keys.size == 0:
+        return empty, empty
+    added_u = frontier[seg_idx[first0[added_keys]]]
+    first0[added_keys] = sentinel  # reset only the touched keys
+    member_flat[added_keys] = True
+    parent_flat[added_keys] = added_u
+    return added_keys, added_u
+
+
+def set_builder_many(
+    network: InterconnectionNetwork,
+    syndromes: Sequence["ArraySyndrome"],
+    roots: Sequence[int],
+    *,
+    diagnosability: int | None = None,
+    materialize: bool = True,
+) -> list[SetBuilderResult]:
+    """Run unrestricted ``Set_Builder`` for a whole stack of syndromes at once.
+
+    One compiled topology, ``B`` syndromes, ``B`` start nodes: every round
+    expands the *concatenation* of all still-active per-syndrome frontiers in
+    a single array pass (membership and parents live in flattened ``(B, n)``
+    arrays keyed by ``syndrome * n + node``).  The batch amortises the
+    per-round call overhead *and* runs a leaner per-element pipeline than
+    the single-syndrome path (narrow index dtype, position-based candidate
+    compression, touched-key scoreboard resets — see :func:`_stacked_round`),
+    which is where the serving layer's batch throughput comes from on one
+    core.  Syndromes terminate independently — one that adds no nodes in a
+    round simply stops contributing candidates while the others keep
+    growing.
+
+    Results are **bit-identical** per syndrome to
+    :func:`_set_builder_array_vectorized` (grown set, parents, contributors,
+    rounds, the certificate, and the consulted-entry count — which is also
+    credited to each syndrome's ``lookups`` counter), pinned by the
+    differential suite.  Only unrestricted, unbudgeted runs are supported —
+    the final network-sized run of the diagnosis algorithm, which is the only
+    step worth batching.
+
+    ``materialize=False`` skips building the per-syndrome ``nodes`` /
+    ``parent`` / ``contributors`` Python collections (they come back empty);
+    ``member_mask``, ``rounds``, ``lookups`` and ``all_healthy`` are always
+    exact.  The serving path uses this: it needs only the mask (for the
+    boundary) and the counters, and per-syndrome dict/set construction would
+    otherwise cap the batch speedup.
+    """
+    from ..backend.array_syndrome import ArraySyndrome
+
+    if len(syndromes) != len(roots):
+        raise ValueError("need exactly one start node per syndrome")
+    num_syndromes = len(syndromes)
+    if num_syndromes == 0:
+        return []
+    csr = compile_network(network)
+    if diagnosability is None:
+        diagnosability = network.diagnosability()
+    buffers = []
+    for syndrome in syndromes:
+        if not isinstance(syndrome, ArraySyndrome) or syndrome.csr is not csr:
+            raise ValueError(
+                "set_builder_many needs ArraySyndromes over this network's "
+                "compiled topology"
+            )
+        buffers.append(np.ascontiguousarray(syndrome.values_array))
+    n = csr.num_nodes
+    for u0 in roots:
+        if not 0 <= u0 < n:
+            raise ValueError(f"start node {u0} is not a node of the network")
+
+    # Narrow index dtype halves the per-round memory traffic; fall back to
+    # int64 only when an address space genuinely needs it.
+    wide = max(
+        num_syndromes * n,
+        num_syndromes * csr.num_entries,
+        csr.num_pairs,
+    ) >= np.iinfo(np.int32).max
+    idx = np.int64 if wide else np.int32
+
+    native = load_stacked_kernel()
+    member_flat = np.zeros(num_syndromes * n, dtype=bool)
+    # The native pass works in int64 throughout; the numpy rounds keep the
+    # narrow dtype for memory traffic.
+    parent_flat = np.full(
+        num_syndromes * n, -1, dtype=np.int64 if native is not None else idx
+    )
+    rounds = np.zeros(num_syndromes, dtype=np.int64)
+    lookups = np.zeros(num_syndromes, dtype=np.int64)
+    #: flat ``syndrome * n + tester`` flags of testers already counted as
+    #: contributors, plus the running per-syndrome distinct-contributor count
+    contributed = np.zeros(num_syndromes * n, dtype=bool)
+    contrib_count = np.zeros(num_syndromes, dtype=np.int64)
+
+    # ---------------------------------------------------------------- round 1
+    # Per-syndrome scalar root-pair scans (Δ(Δ-1)/2 each — tiny), exactly the
+    # single path's round 1; the stacked frontier starts syndrome-blocked.
+    frontier_parts: list[np.ndarray] = []
+    for b, (syndrome, u0) in enumerate(zip(syndromes, roots)):
+        member_flat[b * n + u0] = True
+        added, _, root_lookups = _expand_root_pairs(csr, syndrome.buffer, u0)
+        lookups[b] += root_lookups
+        if added:
+            arr = np.asarray(sorted(added), dtype=idx)
+            member_flat[b * n + arr] = True
+            parent_flat[b * n + arr] = u0
+            rounds[b] = 1
+            contributed[b * n + u0] = True
+            contrib_count[b] = 1
+            frontier_parts.append(b * n + arr)
+    frontier_keys = (
+        np.concatenate(frontier_parts) if frontier_parts
+        else np.empty(0, dtype=idx)
+    )
+
+    # ------------------------------------------------------------ rounds >= 2
+    if native is not None:
+        if frontier_keys.size:
+            buf_ptr = ctypes.POINTER(ctypes.c_ubyte)
+            buf_ptrs = (buf_ptr * num_syndromes)(
+                *[b.ctypes.data_as(buf_ptr) for b in buffers]
+            )
+            code = native(
+                csr.indptr, csr.indices, csr.pair_indptr, buf_ptrs,
+                n, num_syndromes,
+                frontier_keys.astype(np.int64), frontier_keys.size,
+                member_flat.view(np.uint8), parent_flat,
+                lookups, rounds,
+                contributed.view(np.uint8), contrib_count,
+            )
+            if code != 0:
+                raise RuntimeError(
+                    f"native stacked kernel failed with code {code}"
+                )
+    else:
+        #: persistent first-zero scoreboard over flat keys; sentinel
+        #: everywhere except the keys a round is currently admitting
+        first0 = np.full(num_syndromes * n, np.iinfo(idx).max, dtype=idx)
+        while frontier_keys.size:
+            added_keys, added_u = _stacked_round(
+                csr, n, idx, member_flat, parent_flat, first0, buffers,
+                frontier_keys, lookups,
+            )
+            if added_keys.size == 0:
+                break
+            syn_added = added_keys // n
+            rounds += np.bincount(syn_added, minlength=num_syndromes) > 0
+            fresh = np.unique(syn_added * n + added_u)
+            fresh = fresh[~contributed[fresh]]
+            contributed[fresh] = True
+            contrib_count += np.bincount(fresh // n, minlength=num_syndromes)
+            frontier_keys = added_keys  # sorted: blocked, nodes ascending
+
+    # ----------------------------------------------------------------- results
+    member2d = member_flat.reshape(num_syndromes, n)
+    parent2d = parent_flat.reshape(num_syndromes, n)
+    results: list[SetBuilderResult] = []
+    for b, syndrome in enumerate(syndromes):
+        if materialize:
+            owned = np.flatnonzero(member2d[b])
+            child = owned[parent2d[b][owned] >= 0]
+            parent_of = parent2d[b][child]
+            nodes = set(owned.tolist())
+            parent = dict(zip(child.tolist(), parent_of.tolist()))
+            contributors = (
+                set(np.unique(parent_of).tolist()) if child.size else set()
+            )
+        else:
+            nodes, parent, contributors = set(), {}, set()
+        syndrome.lookups += int(lookups[b])
+        results.append(
+            SetBuilderResult(
+                root=int(roots[b]),
+                all_healthy=bool(contrib_count[b] > diagnosability),
+                nodes=nodes,
+                parent=parent,
+                contributors=contributors,
+                rounds=int(rounds[b]),
+                lookups=int(lookups[b]),
+                truncated=False,
+                member_mask=member2d[b],
+            )
+        )
+    return results

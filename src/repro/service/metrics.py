@@ -125,7 +125,8 @@ class ServiceMetrics:
         self.latency = Histogram()
         #: seconds a batch's requests waited before dispatch
         self.queue_wait = Histogram()
-        #: requests per executed batch
+        #: post-slicing stacked-kernel width per executed batch (requests
+        #: whose syndrome failed to construct never reach the kernel)
         self.batch_size = Histogram(smallest=1.0, growth=1.5)
         #: pending requests observed at each enqueue (depth *before* adding)
         self.queue_depth = Histogram(smallest=1.0, growth=1.5)
@@ -141,11 +142,29 @@ class ServiceMetrics:
         self.rejected += 1
         self.queue_depth.record(depth)
 
-    def record_batch(self, size: int, *, compiles: int, pair_builds: int) -> None:
+    def record_batch(
+        self,
+        size: int,
+        *,
+        compiles: int,
+        pair_builds: int,
+        kernel_width: int | None = None,
+    ) -> None:
+        """One executed batch of ``size`` coalesced requests.
+
+        ``kernel_width`` is how many of them actually reached the stacked
+        diagnosis kernel (post-slicing, minus construction failures); that is
+        what the ``batch_size`` histogram records — a width-0 batch (every
+        syndrome failed to construct) still counts as a batch but records no
+        histogram sample.  Callers without a kernel report fall back to
+        ``size``.
+        """
         self.batches += 1
         if size > 1:
             self.coalesced_batches += 1
-        self.batch_size.record(size)
+        width = size if kernel_width is None else kernel_width
+        if width > 0:
+            self.batch_size.record(width)
         self.worker_compiles += compiles
         self.worker_pair_builds += pair_builds
 

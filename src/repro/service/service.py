@@ -355,12 +355,31 @@ class DiagnosisService:
                 network, csr = await self._resolved_topology(topology, requests[0])
                 dispatch_time = loop.time()
                 handle = self.pool.publish_topology(csr, include_pair_members=True)
+                # Explicit syndromes ship through shared memory, not pickle:
+                # concatenate their buffers into one published segment and
+                # send (position, offset, size) spans; the wire requests are
+                # stripped of their bytes so the task payload stays small.
+                wire_requests = list(requests)
+                syndrome_handle = None
+                spans: list[tuple[int, int, int]] = []
+                parts: list[bytes] = []
+                offset = 0
+                for pos, request in enumerate(requests):
+                    if request.is_explicit:
+                        blob = bytes(request.syndrome_bytes)
+                        spans.append((pos, offset, len(blob)))
+                        parts.append(blob)
+                        offset += len(blob)
+                        wire_requests[pos] = replace(request, syndrome_bytes=None)
+                if parts:
+                    syndrome_handle = self.pool.publish_buffer(b"".join(parts))
                 self._inflight_csr[id(csr)] = self._inflight_csr.get(id(csr), 0) + 1
                 try:
                     responses, stats = await asyncio.wrap_future(
                         self.pool.submit(
                             run_batch_task, handle, requests[0].family,
-                            requests[0].params, requests,
+                            requests[0].params, wire_requests,
+                            syndrome_handle, spans,
                         )
                     )
                 finally:
@@ -369,6 +388,8 @@ class DiagnosisService:
                         self._inflight_csr[id(csr)] = remaining
                     else:
                         del self._inflight_csr[id(csr)]
+                    if syndrome_handle is not None:
+                        self.pool.release(syndrome_handle)
                     self._flush_retired()
             else:
                 async with self._local_execution:
@@ -388,7 +409,10 @@ class DiagnosisService:
                     pending.future.set_exception(exc)
             return
         self.metrics.record_batch(
-            len(batch), compiles=stats["compiles"], pair_builds=stats["pair_builds"]
+            len(batch),
+            compiles=stats["compiles"],
+            pair_builds=stats["pair_builds"],
+            kernel_width=stats.get("kernel_width"),
         )
         responses = [
             replace(response, batch_size=len(batch)) for response in responses

@@ -137,6 +137,25 @@ class TestCorrectness:
         _serve(service, *(_request(seed) for seed in range(5)))
         stats = service.stats()
         assert stats["worker_compiles"] == 0
+        # resolve_topology warms the pair index into the cache entry, so
+        # even the *first* batch on a fresh topology builds no pair arrays
+        # inside the measured window.
+        assert stats["worker_pair_builds"] == 0
+
+    def test_batch_size_histogram_records_kernel_width(self):
+        """A construction failure shrinks the stacked kernel's width; the
+        batch-size histogram records the post-slicing kernel width, not the
+        coalesced request count."""
+        service = DiagnosisService()
+        oversized = _request(0, fault_count=10_000)  # ValueError pre-kernel
+        responses = _serve(service, oversized, _request(1), _request(2))
+        assert not responses[0].ok and responses[1].ok and responses[2].ok
+        stats = service.stats()
+        assert stats["batches"] == 1
+        assert stats["batch_size"]["count"] == 1
+        assert stats["mean_batch_size"] == 2.0  # 3 coalesced, 2 diagnosed
+        # coalescing telemetry still counts the full batch
+        assert stats["coalesced_batches"] == 1
 
 
 class TestStoreIntegration:
@@ -430,3 +449,59 @@ class TestPooledService:
         assert [r.lookups for r in pooled] == [r.lookups for r in plain]
         assert stats["worker_compiles"] == 0
         assert stats["worker_pair_builds"] == 0
+
+    def test_pooled_explicit_syndromes_travel_shared_memory(self, q5):
+        """Explicit syndrome buffers ship as one published segment with
+        (position, offset, size) spans — never pickled per task — and the
+        responses stay identical to the direct pipeline."""
+        from repro.backend.array_syndrome import ArraySyndrome
+        from repro.backend.csr import compile_network
+        from repro.core.faults import random_faults
+        from repro.parallel import WorkerPool
+
+        csr = compile_network(q5)
+        explicit = []
+        for seed in (3, 4):
+            faults = random_faults(q5, 3, seed=seed)
+            syndrome = ArraySyndrome.from_faults(csr, faults, seed=seed)
+            explicit.append(
+                DiagnosisRequest.from_syndrome(
+                    "hypercube", {"dimension": 5}, syndrome
+                )
+            )
+        mixed = [explicit[0], _request(7, ("hypercube", {"dimension": 5})),
+                 explicit[1]]
+        with WorkerPool(max_workers=1) as pool:
+            service = DiagnosisService(pool=pool)
+            responses = _serve(service, *mixed)
+            stats = service.stats()
+            # the per-batch syndrome segment was released as its batch
+            # completed and the service close retired the topology segment;
+            # a leaked syndrome segment would still be registered here
+            segments = len(pool._segments)
+        assert segments == 0
+        for request, response in zip(mixed, responses):
+            direct = run_direct(request)
+            assert response.faulty == direct.faulty
+            assert response.lookups == direct.lookups
+            assert response.syndrome_digest == direct.syndrome_digest
+        assert stats["worker_compiles"] == 0
+        assert stats["worker_pair_builds"] == 0
+
+    def test_pooled_wrong_size_explicit_buffer_fails_per_item(self):
+        """A bad span-shipped buffer raises inside the worker exactly like
+        the in-process path — and never fails its batch mates."""
+        from repro.parallel import WorkerPool
+
+        bad = DiagnosisRequest.from_syndrome(
+            "hypercube", {"dimension": 6}, b"\x01" * 7
+        )
+        good = _request(1)
+        with WorkerPool(max_workers=1) as pool:
+            service = DiagnosisService(pool=pool)
+            bad_r, good_r = _serve(service, bad, good)
+        assert not bad_r.ok and "ValueError" in bad_r.error
+        assert "got 7" in bad_r.error
+        assert good_r.ok
+        assert good_r.faulty == run_direct(good).faulty
+        assert bad_r.error == run_direct(bad).error
