@@ -18,6 +18,12 @@ Q_12 / Q_14 / S_7 request stream with repeats:
   (keep-alive connections, JSON bodies) so the transport tax is measured,
   not guessed.
 
+Two further rows gate different properties: **batched_kernel** times one
+stacked `diagnose_many` call against the sequential loop, and **fairness**
+runs the adversarial multi-tenant mix (hot open-loop burst vs cold
+closed-loop tenants under a per-tenant quota) twice, requiring a
+byte-identical shed split and 100% cold-tenant completion.
+
 Every batched response is verified bit-identical to the direct
 `GeneralDiagnoser` pipeline before any number is recorded.  Results land in
 ``BENCH_service.json``; the acceptance target is **>= 3x** batched-over-naive
@@ -89,6 +95,45 @@ def measure(spec: LoadSpec, *, workers: int, verify: bool) -> list[dict]:
         _mode_entry("batched_pooled", pooled, verified=verify),
         _mode_entry("batched_http", http, verified=verify),
     ]
+
+
+def measure_fairness(*, smoke: bool) -> dict:
+    """The ``fairness`` row: the adversarial multi-tenant mix.
+
+    One hot tenant bursts open-loop into a per-tenant quota while cold
+    tenants trickle closed-loop.  The row runs the identical spec twice and
+    records whether the shed splits agreed byte for byte (admission is a
+    pure function of submission order) and whether every cold request
+    completed while the hot tenant was being shed."""
+    from repro.service import FairnessSpec, run_fairness_sync
+
+    spec = FairnessSpec.from_mix(
+        SMOKE_MIX if smoke else DEFAULT_MIX,
+        hot_requests=16 if smoke else 48,
+        cold_tenants=3 if smoke else 6,
+        cold_requests_per_tenant=3 if smoke else 6,
+        max_queue_per_tenant=4,
+        seed=0,
+        seed_pool=64,  # distinct syndromes: no coalescing shortcut softens the burst
+    )
+    report = run_fairness_sync(spec)
+    repeat = run_fairness_sync(spec)
+    first = json.dumps(report.split(), sort_keys=True)
+    second = json.dumps(repeat.split(), sort_keys=True)
+    return {
+        "mode": "fairness",
+        "hot_requests": spec.hot_requests,
+        "hot_served": report.hot_served,
+        "hot_shed": report.hot_shed,
+        "cold_tenants": spec.cold_tenants,
+        "cold_requests": sum(report.cold_expected.values()),
+        "cold_completion": report.cold_completion,
+        "max_queue_per_tenant": spec.max_queue_per_tenant,
+        "wall_seconds": round(report.wall_seconds, 3),
+        "shed_split_deterministic": first == second,
+        "hot_shed_under_pressure": report.hot_shed > 0,
+        "cold_never_shed": report.cold_completion == 1.0,
+    }
 
 
 def measure_kernel(*, smoke: bool) -> dict:
@@ -208,6 +253,8 @@ def main(argv: list[str] | None = None) -> int:
     modes = measure(spec, workers=2, verify=True)
     kernel = measure_kernel(smoke=smoke)
     modes.append(kernel)
+    fairness = measure_fairness(smoke=smoke)
+    modes.append(fairness)
     by_name = {entry["mode"]: entry for entry in modes}
     speedup = round(
         by_name["batched"]["throughput_rps"]
@@ -260,6 +307,11 @@ def main(argv: list[str] | None = None) -> int:
         "kernel_speedup_at_width_16": kernel["kernel_speedup"],
         "kernel_target_speedup": 3.0,
         "kernel_target_met": kernel["kernel_speedup"] >= 3.0,
+        "fairness_ok": (
+            fairness["shed_split_deterministic"]
+            and fairness["hot_shed_under_pressure"]
+            and fairness["cold_never_shed"]
+        ),
         "target_speedup": 3.0,
         "target_met": speedup >= 3.0,
         "zero_recompilation": (
@@ -269,7 +321,9 @@ def main(argv: list[str] | None = None) -> int:
             and by_name["batched_pooled"]["worker_pair_builds"] == 0
         ),
         "all_modes_bit_identical": all(
-            entry["verified_bit_identical"] for entry in modes
+            entry["verified_bit_identical"]
+            for entry in modes
+            if "verified_bit_identical" in entry  # fairness gates differently
         ),
         "note": (
             "naive topology_resolutions equals its request count (every "
@@ -279,8 +333,8 @@ def main(argv: list[str] | None = None) -> int:
         ),
     }
     for entry in modes:
-        if entry["mode"] == "batched_kernel":
-            continue  # printed separately below (different shape)
+        if entry["mode"] in ("batched_kernel", "fairness"):
+            continue  # printed separately below (different shapes)
         print(
             f"{entry['mode']:>15}: {entry['throughput_rps']:>8} req/s "
             f"({entry['wall_seconds']} s, {entry['batches']} batches, "
@@ -294,6 +348,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{kernel['sequential_rps']} sequential on Q_{kernel['params']['dimension']} "
         f"at width {kernel['batch_width']} -> {kernel['kernel_speedup']}x "
         f"(bit-identical {kernel['verified_bit_identical']})"
+    )
+    print(
+        f"{'fairness':>15}: hot {fairness['hot_served']}/"
+        f"{fairness['hot_requests']} served, {fairness['hot_shed']} shed "
+        f"(quota {fairness['max_queue_per_tenant']}); cold completion "
+        f"{fairness['cold_completion']:.0%}, split deterministic "
+        f"{fairness['shed_split_deterministic']}"
     )
     for row in width_curve:
         print(
@@ -314,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
             payload["all_modes_bit_identical"]
             and payload["zero_recompilation"]
             and kernel["verified_bit_identical"]
+            and payload["fairness_ok"]
         )
         return 0 if ok else 1
     out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
@@ -322,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
     ok = (
         payload["target_met"]
         and payload["kernel_target_met"]
+        and payload["fairness_ok"]
         and payload["all_modes_bit_identical"]
         and all(row["verified_bit_identical"] for row in width_curve)
     )

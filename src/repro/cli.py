@@ -159,7 +159,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--http", type=int, default=None, metavar="PORT",
                        help="serve HTTP/JSON on PORT instead of a request "
                             "stream (0 picks an ephemeral port); endpoints: "
-                            "POST /diagnose, GET /stats, GET /healthz; "
+                            "POST /diagnose, GET /stats, GET /metrics, "
+                            "GET /dashboard, GET /healthz; "
                             "runs until SIGINT/SIGTERM, then drains gracefully")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address for --http (default: 127.0.0.1)")
@@ -171,6 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission control: shed requests (HTTP 429 / "
                             "RejectedError) once N requests are queued "
                             "undispatched (default: unbounded)")
+    serve.add_argument("--max-queue-per-tenant", type=int, default=None,
+                       metavar="N",
+                       help="per-tenant admission quota: shed a tenant's "
+                            "requests once it has N queued undispatched "
+                            "(store hits and coalesced joins never count)")
+    serve.add_argument("--tenant-weight", action="append", default=[],
+                       metavar="NAME=W",
+                       help="fair-queueing weight of tenant NAME (positive "
+                            "integer, repeatable; unnamed tenants weigh 1)")
     serve.add_argument("--workers", type=int, default=None, metavar="W",
                        help="dispatch batches over a W-process shared-memory "
                             "worker pool (default: in-process batches)")
@@ -208,10 +218,27 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--seed-pool", type=int, default=8,
                       help="distinct syndrome seeds per topology (small pools "
                            "produce repeats, exercising coalescing and the store)")
+    load.add_argument("--tenant", default=None, metavar="NAME",
+                      help="bill every generated request to tenant NAME "
+                           "(default: the 'default' tenant)")
     load.add_argument("--http", metavar="URL", default=None,
                       help="drive the load over the wire against a running "
                            "'serve --http' frontend at URL (http://host:port); "
                            "429-shed requests are counted and retried")
+    load.add_argument("--fairness", action="store_true",
+                      help="run the adversarial multi-tenant mix instead: one "
+                           "hot tenant bursting open-loop against a per-tenant "
+                           "quota while cold tenants trickle closed-loop; "
+                           "fails unless every cold request completes")
+    load.add_argument("--hot-requests", type=int, default=32, metavar="N",
+                      help="with --fairness: size of the hot tenant's burst")
+    load.add_argument("--cold-tenants", type=int, default=4, metavar="N",
+                      help="with --fairness: number of cold tenants")
+    load.add_argument("--cold-requests", type=int, default=4, metavar="N",
+                      help="with --fairness: closed-loop requests per cold tenant")
+    load.add_argument("--tenant-quota", type=int, default=4, metavar="N",
+                      help="with --fairness: the per-tenant admission quota "
+                           "the hot burst slams into")
     load.add_argument("--expect-rejections", type=int, default=None, metavar="N",
                       help="with --http: exit nonzero unless at least N "
                            "requests were shed with 429 before being served")
@@ -380,8 +407,17 @@ def _write_json_atomic(path: str, payload) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_path, path)
+        # The rename itself lives in the directory entry: without fsyncing
+        # the directory, a crash can lose the replace and resurrect the old
+        # file even though the data blocks were flushed above.
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
     except BaseException:
-        os.unlink(tmp_path)
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
         raise
 
 
@@ -421,6 +457,34 @@ def _read_requests_file(path: str):
     return requests
 
 
+def _parse_tenant_weights(entries: list) -> dict | None:
+    """``NAME=W`` pairs from repeated ``--tenant-weight`` flags."""
+    from .service import validate_tenant
+
+    if not entries:
+        return None
+    weights: dict[str, int] = {}
+    for entry in entries:
+        name, separator, value = entry.partition("=")
+        if not separator or not name:
+            raise SystemExit(
+                f"--tenant-weight takes NAME=W, got {entry!r}"
+            )
+        try:
+            validate_tenant(name)
+        except ValueError as exc:
+            raise SystemExit(f"--tenant-weight {entry!r}: {exc}")
+        if not value.isdigit() or int(value) < 1:
+            raise SystemExit(
+                f"--tenant-weight {entry!r}: weight must be a positive integer"
+            )
+        weight = int(value)
+        if name in weights:
+            raise SystemExit(f"--tenant-weight names {name!r} twice")
+        weights[name] = weight
+    return weights
+
+
 def _validate_serve_args(args: argparse.Namespace) -> None:
     if args.workers is not None and args.workers < 1:
         raise SystemExit("--workers must be at least 1")
@@ -432,6 +496,8 @@ def _validate_serve_args(args: argparse.Namespace) -> None:
         raise SystemExit("--batch-delay-ms must be non-negative")
     if args.max_queue is not None and args.max_queue < 1:
         raise SystemExit("--max-queue must be at least 1")
+    if args.max_queue_per_tenant is not None and args.max_queue_per_tenant < 1:
+        raise SystemExit("--max-queue-per-tenant must be at least 1")
     if args.store_ttl is not None and args.store_ttl <= 0:
         raise SystemExit("--store-ttl must be positive")
     if args.store_max_rows is not None and args.store_max_rows < 1:
@@ -479,6 +545,8 @@ def _serve_http(args: argparse.Namespace) -> int:
             topology_cache_capacity=args.cache_capacity,
             store=store,
             max_queue_depth=args.max_queue,
+            max_queue_per_tenant=args.max_queue_per_tenant,
+            tenant_weights=_parse_tenant_weights(args.tenant_weight),
         )
         frontend = HttpFrontend(service, host=args.host, port=args.http)
         await frontend.start()
@@ -555,6 +623,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             topology_cache_capacity=args.cache_capacity,
             store=store,
             max_queue_depth=args.max_queue,
+            max_queue_per_tenant=args.max_queue_per_tenant,
+            tenant_weights=_parse_tenant_weights(args.tenant_weight),
         ) as service:
             responses = await service.submit_many(requests)
             return responses, service.stats()
@@ -599,6 +669,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_load_fairness(args: argparse.Namespace) -> int:
+    """The adversarial multi-tenant mix (``load --fairness``).
+
+    Runs the hot-burst-vs-cold-trickle scenario twice with the same seed and
+    insists the shed splits agree byte for byte — admission decisions must be
+    a pure function of submission order — then gates on 100% cold-tenant
+    completion.
+    """
+    import json
+
+    for flag, present in (("--http", args.http is not None),
+                          ("--naive", args.naive),
+                          ("--compare", args.compare),
+                          ("--verify", args.verify),
+                          ("--workers", args.workers is not None),
+                          ("--store", args.store is not None),
+                          ("--tenant", args.tenant is not None)):
+        if present:
+            raise SystemExit(f"--fairness runs its own in-process scenario; "
+                             f"drop {flag}")
+    for name, value in (("--hot-requests", args.hot_requests),
+                        ("--cold-tenants", args.cold_tenants),
+                        ("--cold-requests", args.cold_requests),
+                        ("--tenant-quota", args.tenant_quota)):
+        if value < 1:
+            raise SystemExit(f"{name} must be at least 1")
+
+    mix = [_parse_instance(spec) for spec in args.instance] or [
+        ("hypercube", {"dimension": 8}),
+        ("star", {"n": 6}),
+    ]
+    from .service import FairnessSpec, run_fairness_sync
+
+    spec = FairnessSpec.from_mix(
+        mix,
+        hot_requests=args.hot_requests,
+        cold_tenants=args.cold_tenants,
+        cold_requests_per_tenant=args.cold_requests,
+        max_queue_per_tenant=args.tenant_quota,
+        seed=args.seed,
+        seed_pool=args.seed_pool,
+    )
+    report = run_fairness_sync(spec)
+    repeat = run_fairness_sync(spec)
+    summary = report.summary()
+    print(f"fairness: hot tenant {summary['hot_served']}/"
+          f"{summary['hot_requests']} served, {summary['hot_shed']} shed "
+          f"(quota {summary['max_queue_per_tenant']}); "
+          f"{summary['cold_tenants']} cold tenants "
+          f"{summary['cold_requests']} requests, "
+          f"completion {summary['cold_completion']:.0%} "
+          f"in {summary['wall_seconds']} s")
+
+    exit_code = 0
+    first = json.dumps(report.split(), sort_keys=True)
+    second = json.dumps(repeat.split(), sort_keys=True)
+    if first != second:
+        print("FAIL: two seeded runs shed different requests\n"
+              f"  run 1: {first}\n  run 2: {second}")
+        exit_code = 1
+    if report.cold_completion < 1.0:
+        print(f"FAIL: cold tenants completed {report.cold_completion:.0%} "
+              f"of their requests (expected 100%)")
+        exit_code = 1
+    if report.hot_shed == 0 and args.hot_requests > args.tenant_quota:
+        print("FAIL: the hot burst exceeded its quota but nothing was shed")
+        exit_code = 1
+    if args.stats_json is not None:
+        _write_json_atomic(
+            args.stats_json,
+            {"fairness": summary, "split": report.split(),
+             "stats": report.stats},
+        )
+        print(f"report -> {args.stats_json}")
+    return exit_code
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
     if args.clients < 1:
         raise SystemExit("--clients must be at least 1")
@@ -610,6 +757,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
         raise SystemExit("--workers must be at least 1")
     if args.naive and args.compare:
         raise SystemExit("--naive and --compare are mutually exclusive")
+    if args.fairness:
+        return _cmd_load_fairness(args)
     if args.naive and args.workers is not None:
         raise SystemExit("--naive serves in-process; drop --workers")
     if args.naive and args.store is not None:
@@ -631,15 +780,19 @@ def _cmd_load(args: argparse.Namespace) -> int:
         ("star", {"n": 6}),
     ]
 
-    from .service import LoadSpec, ResultStore, run_load_sync
+    from .service import DEFAULT_TENANT, LoadSpec, ResultStore, run_load_sync
 
-    spec = LoadSpec.from_mix(
-        mix,
-        clients=args.clients,
-        requests_per_client=args.requests,
-        seed=args.seed,
-        seed_pool=args.seed_pool,
-    )
+    try:
+        spec = LoadSpec.from_mix(
+            mix,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            seed=args.seed,
+            seed_pool=args.seed_pool,
+            tenant=args.tenant if args.tenant is not None else DEFAULT_TENANT,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
     def _batched_report():
         pool = None

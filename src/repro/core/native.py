@@ -11,8 +11,10 @@ fall back to the pure-numpy round in ``set_builder.py``, which the
 differential suite pins bit-identical to the native pass.
 
 The compile is atomic (build to a temp name, ``os.replace`` into the cache)
-so racing processes — a worker pool warming up, parallel test runs — settle
-on one library without ever loading a half-written file.
+so racing processes never load a half-written file, and the build itself
+runs under an ``fcntl`` file lock so racing processes — a worker pool
+warming up, parallel test runs — settle on *one* compile: the first holder
+builds, the rest block on the lock and find the finished library.
 """
 
 from __future__ import annotations
@@ -22,7 +24,13 @@ import hashlib
 import os
 import subprocess
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: fall back to lock-free
+    fcntl = None
 
 import numpy as np
 from numpy.ctypeslib import ndpointer
@@ -71,6 +79,28 @@ def _compile(source: Path, target: Path) -> bool:
     return False
 
 
+@contextmanager
+def _build_lock(target: Path):
+    """Serialise first-use compiles of ``target`` across processes.
+
+    Without this, every concurrently-starting process that found the cache
+    cold would run its own 100ms+ compiler invocation — correct (the atomic
+    replace keeps the file whole) but wasteful, and on slow filesystems a
+    herd of builds has been seen timing each other out.  The lock lives next
+    to the library; the content-hash key means a stale lock file is inert.
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_path = target.with_suffix(".lock")
+    with open(lock_path, "w") as lock_file:
+        fcntl.flock(lock_file, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock_file, fcntl.LOCK_UN)
+
+
 def _configure(library: ctypes.CDLL):
     fn = library.stacked_rounds
     fn.restype = ctypes.c_int64
@@ -111,8 +141,12 @@ def load_stacked_kernel():
         source_text = _SOURCE.read_text()
         tag = hashlib.sha256(source_text.encode()).hexdigest()[:16]
         target = _cache_dir() / f"stacked-{tag}.so"
-        if not target.exists() and not _compile(_SOURCE, target):
-            return None
+        if not target.exists():
+            # Build-or-wait: whoever wins the lock compiles; everyone else
+            # blocks, then re-checks and finds the library already there.
+            with _build_lock(target):
+                if not target.exists() and not _compile(_SOURCE, target):
+                    return None
         _kernel = _configure(ctypes.CDLL(str(target)))
     except Exception:
         _kernel = None

@@ -20,12 +20,21 @@ into a throughput engine for *streams* of requests:
 * :mod:`~repro.service.service` — :class:`DiagnosisService`, the asyncio
   front end that coalesces concurrent requests per compiled topology into
   batched runs;
+* :mod:`~repro.service.fairqueue` — :class:`TenantQueues`, the per-tenant
+  deficit-round-robin scheduler behind multi-tenant fairness;
 * :mod:`~repro.service.http` — the stdlib-only asyncio HTTP/1.1 frontend
-  (``POST /diagnose``, ``GET /stats``, ``GET /healthz``, graceful drain,
-  429 shedding) plus the matching keep-alive client;
+  (``POST /diagnose``, ``GET /stats``, ``GET /metrics``, ``GET /dashboard``,
+  ``GET /healthz``, graceful drain, 429 shedding) plus the matching
+  keep-alive client;
+* :mod:`~repro.service.prometheus` — the Prometheus text-format exporter
+  and its minimal parser/checker;
+* :mod:`~repro.service.dashboard` — the stdlib-rendered HTML operator
+  dashboard over ``/stats``;
 * :mod:`~repro.service.loadgen` — the seeded closed-loop load generator
   behind ``repro load`` and ``benchmarks/bench_service.py``, with an HTTP
-  transport (``run_load_http_sync``) exercising the real wire path.
+  transport (``run_load_http_sync``) exercising the real wire path and a
+  fairness harness (``run_fairness_sync``) pitting a saturating tenant
+  against cold ones.
 
 Attribute access is lazy (PEP 562): :mod:`repro.networks.registry` imports
 :mod:`repro.service.cache` for its memo, and an eager ``__init__`` here would
@@ -37,11 +46,18 @@ from __future__ import annotations
 _EXPORTS = {
     "CacheStats": "cache",
     "LRUCache": "cache",
+    "DEFAULT_TENANT": "requests",
     "DiagnosisRequest": "requests",
     "DiagnosisResponse": "requests",
     "request_key": "requests",
     "topology_key": "requests",
     "syndrome_digest": "requests",
+    "validate_tenant": "requests",
+    "TenantQueues": "fairqueue",
+    "MetricsParseError": "prometheus",
+    "parse_metrics_text": "prometheus",
+    "render_metrics": "prometheus",
+    "render_dashboard": "dashboard",
     "ResultStore": "store",
     "Histogram": "metrics",
     "ServiceMetrics": "metrics",
@@ -54,11 +70,15 @@ _EXPORTS = {
     "parse_http_target": "http",
     "LoadSpec": "loadgen",
     "LoadReport": "loadgen",
+    "FairnessSpec": "loadgen",
+    "FairnessReport": "loadgen",
     "build_client_streams": "loadgen",
     "run_load": "loadgen",
     "run_load_http": "loadgen",
     "run_load_http_sync": "loadgen",
     "run_load_sync": "loadgen",
+    "run_fairness": "loadgen",
+    "run_fairness_sync": "loadgen",
     "verify_against_direct": "loadgen",
 }
 

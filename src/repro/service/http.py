@@ -14,7 +14,15 @@ JSON bodies — with three endpoints:
   queue never fails its body mates.
 * ``GET /stats`` — the service's ``stats()`` snapshot plus the frontend's
   own connection/request/shed counters.
+* ``GET /metrics`` — the same telemetry in Prometheus text exposition
+  format (see :mod:`repro.service.prometheus`), with per-tenant labels.
+* ``GET /dashboard`` — a stdlib-rendered auto-refreshing HTML view of
+  ``/stats`` (see :mod:`repro.service.dashboard`).
 * ``GET /healthz`` — liveness: tiny, allocation-free, always serveable.
+
+Multi-tenancy rides the existing surfaces: a request body's ``tenant``
+field names the tenant, and the ``X-Tenant`` header sets the default for
+every request on that message that names none (body wins over header).
 
 Shutdown is graceful: the listener closes first, requests already on a
 connection finish and flush, then idle keep-alive connections are dropped.
@@ -34,7 +42,8 @@ import json
 import threading
 from urllib.parse import urlparse
 
-from .requests import DiagnosisRequest, DiagnosisResponse
+from .dashboard import render_dashboard
+from .requests import DEFAULT_TENANT, DiagnosisRequest, DiagnosisResponse, validate_tenant
 from .service import DiagnosisService, RejectedError
 
 __all__ = [
@@ -85,12 +94,32 @@ def parse_http_target(target: str) -> tuple[str, int]:
     return parsed.hostname or "127.0.0.1", parsed.port
 
 
-def _parse_body_requests(body: bytes) -> tuple[list[DiagnosisRequest], bool]:
+def _connection_requests_close(header_value: str | None) -> bool:
+    """Whether a ``Connection`` header asks to close after this message.
+
+    HTTP header values are case-insensitive token lists (RFC 9110 §7.6.1):
+    ``Close``, ``close, TE`` and friends all mean close.  Comparing the raw
+    string against ``"close"`` — the old behaviour — silently kept such
+    connections alive, leaving well-formed peers hanging on a socket they
+    asked to be torn down.
+    """
+    if not header_value:
+        return False
+    return "close" in (
+        token.strip().lower() for token in header_value.split(",")
+    )
+
+
+def _parse_body_requests(
+    body: bytes, *, default_tenant: str = DEFAULT_TENANT
+) -> tuple[list[DiagnosisRequest], bool]:
     """Parse a ``POST /diagnose`` body into requests (and whether batched).
 
     Error messages carry the position of the offending construct —
     ``body:line:column`` for JSON syntax, ``requests[i]`` for a bad batch
     entry — mirroring the JSONL file path's ``file:line`` discipline.
+    ``default_tenant`` (the connection's ``X-Tenant`` header) applies to
+    every entry that names no tenant of its own.
     """
     try:
         payload = json.loads(body)
@@ -112,12 +141,14 @@ def _parse_body_requests(body: bytes) -> tuple[list[DiagnosisRequest], bool]:
         requests = []
         for position, entry in enumerate(entries):
             try:
-                requests.append(DiagnosisRequest.from_dict(entry))
+                requests.append(
+                    DiagnosisRequest.from_dict(entry, default_tenant=default_tenant)
+                )
             except (ValueError, TypeError) as exc:
                 raise HttpError(400, f"requests[{position}]: {exc}")
         return requests, True
     try:
-        return [DiagnosisRequest.from_dict(payload)], False
+        return [DiagnosisRequest.from_dict(payload, default_tenant=default_tenant)], False
     except (ValueError, TypeError) as exc:
         raise HttpError(400, str(exc))
 
@@ -262,10 +293,12 @@ class HttpFrontend:
                     body = await reader.readexactly(length)
                 except asyncio.IncompleteReadError:
                     return False
-            keep_alive = headers.get("connection", "keep-alive") != "close"
+            keep_alive = not _connection_requests_close(headers.get("connection"))
             self.http_requests += 1
             try:
-                status, payload = await self._route(method, path, body)
+                status, payload, content_type = await self._route(
+                    method, path, body, headers
+                )
             except HttpError as exc:
                 if exc.status == 429:
                     self.shed += 1
@@ -283,7 +316,10 @@ class HttpFrontend:
                     {"error": f"{type(exc).__name__}: {exc}"}, close=True,
                 )
                 return False
-            await self._respond(writer, status, payload, close=not keep_alive)
+            await self._respond(
+                writer, status, payload, close=not keep_alive,
+                content_type=content_type,
+            )
             return keep_alive
         finally:
             self._inflight -= 1
@@ -291,26 +327,57 @@ class HttpFrontend:
                 self._idle.set()
 
     # ----------------------------------------------------------------- routes
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(
+        self, method: str, path: str, body: bytes, headers: dict[str, str]
+    ) -> tuple[int, dict | str, str | None]:
+        """Dispatch one request; ``(status, payload, content type)``.
+
+        A ``dict`` payload is serialised as JSON (content type ``None`` means
+        the JSON default); a ``str`` payload ships verbatim under the given
+        content type (the Prometheus and dashboard routes).
+        """
         if path == "/healthz":
             if method != "GET":
                 raise HttpError(405, f"{path} only supports GET")
-            return 200, {"ok": not self._closing, "pending": self.service._pending_total}
+            return 200, {"ok": not self._closing, "pending": self.service._pending_total}, None
         if path == "/stats":
             if method != "GET":
                 raise HttpError(405, f"{path} only supports GET")
             stats = self.service.stats()
             stats["http"] = self.stats()
-            return 200, stats
+            return 200, stats, None
+        if path == "/metrics":
+            if method != "GET":
+                raise HttpError(405, f"{path} only supports GET")
+            text = self.service.prometheus_text(http_stats=self.stats())
+            return 200, text, "text/plain; version=0.0.4; charset=utf-8"
+        if path == "/dashboard":
+            if method != "GET":
+                raise HttpError(405, f"{path} only supports GET")
+            stats = self.service.stats()
+            stats["http"] = self.stats()
+            return 200, render_dashboard(stats), "text/html; charset=utf-8"
         if path == "/diagnose":
             if method != "POST":
                 raise HttpError(405, f"{path} only supports POST")
-            return await self._diagnose(body)
+            tenant_header = headers.get("x-tenant")
+            if tenant_header is not None:
+                try:
+                    tenant_header = validate_tenant(tenant_header)
+                except ValueError as exc:
+                    raise HttpError(400, f"X-Tenant header: {exc}")
+            status, payload = await self._diagnose(
+                body, default_tenant=tenant_header or DEFAULT_TENANT
+            )
+            return status, payload, None
         raise HttpError(404, f"unknown path {path!r}; "
-                             f"try /diagnose, /stats or /healthz")
+                             f"try /diagnose, /stats, /metrics, /dashboard "
+                             f"or /healthz")
 
-    async def _diagnose(self, body: bytes) -> tuple[int, dict]:
-        requests, batched = _parse_body_requests(body)
+    async def _diagnose(
+        self, body: bytes, *, default_tenant: str = DEFAULT_TENANT
+    ) -> tuple[int, dict]:
+        requests, batched = _parse_body_requests(body, default_tenant=default_tenant)
         if not batched:
             try:
                 response = await self.service.submit(requests[0])
@@ -349,15 +416,20 @@ class HttpFrontend:
         self,
         writer,
         status: int,
-        payload: dict,
+        payload: dict | str,
         *,
         close: bool = False,
         retry_after: int | None = None,
+        content_type: str | None = None,
     ) -> None:
-        body = json.dumps(payload).encode()
+        if isinstance(payload, str):
+            body = payload.encode()
+        else:
+            body = json.dumps(payload).encode()
+            content_type = None
         headers = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type or 'application/json'}",
             f"Content-Length: {len(body)}",
             f"Connection: {'close' if close else 'keep-alive'}",
         ]
@@ -431,17 +503,29 @@ class HttpClient:
         await self.close()
 
     async def request(
-        self, method: str, path: str, payload: dict | None = None
-    ) -> tuple[int, dict]:
-        """One round trip; returns ``(status, parsed JSON body)``."""
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict | str]:
+        """One round trip; returns ``(status, parsed JSON body or raw text)``.
+
+        ``headers`` adds extra request headers (e.g. ``{"X-Tenant": ...}``).
+        """
         if self._writer is None:
             await self.connect()
         body = b"" if payload is None else json.dumps(payload).encode()
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"\r\n"
         ).encode()
         try:
@@ -457,7 +541,7 @@ class HttpClient:
             await self._writer.drain()
             return await self._read_response()
 
-    async def _read_response(self) -> tuple[int, dict]:
+    async def _read_response(self) -> tuple[int, dict | str]:
         head = await self._reader.readuntil(b"\r\n\r\n")
         text = head.decode("latin-1")
         status_line, _, rest = text.partition("\r\n")
@@ -469,9 +553,12 @@ class HttpClient:
                 headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
         body = await self._reader.readexactly(length) if length else b"{}"
-        if headers.get("connection") == "close":
+        if _connection_requests_close(headers.get("connection")):
             await self.close()
-        return status, json.loads(body)
+        content_type = headers.get("content-type", "application/json")
+        if content_type.split(";")[0].strip().lower() == "application/json":
+            return status, json.loads(body)
+        return status, body.decode()
 
     # ------------------------------------------------------------ conveniences
     async def diagnose(
@@ -493,6 +580,13 @@ class HttpClient:
         status, payload = await self.request("GET", "/healthz")
         if status != 200:
             raise HttpError(status, f"healthz answered {status}: {payload}")
+        return payload
+
+    async def metrics_text(self) -> str:
+        """Scrape ``GET /metrics``; returns the raw exposition text."""
+        status, payload = await self.request("GET", "/metrics")
+        if status != 200:
+            raise HttpError(status, f"metrics answered {status}: {payload}")
         return payload
 
 

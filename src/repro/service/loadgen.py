@@ -13,28 +13,41 @@ persistent result store.
 one-call form the CLI and ``benchmarks/bench_service.py`` use, building the
 service (batched or naive), running the load under ``asyncio.run`` and
 returning the :class:`LoadReport`.
+
+:func:`run_fairness` is the adversarial multi-tenant harness: one *hot*
+tenant fires its whole burst open-loop (no waiting, no retrying) against a
+per-tenant admission quota, while several *cold* tenants trickle closed-loop
+requests through the same service.  Because admission decisions happen in
+``submit``'s synchronous prefix, the hot burst's shed split is a pure
+function of submission order — :meth:`FairnessReport.split` is the
+byte-comparable fingerprint two seeded runs must agree on — and every cold
+request (per-tenant depth 1, under any quota) completes.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..parallel.seeding import spawn_seeds
-from .requests import DiagnosisRequest, DiagnosisResponse
-from .service import DiagnosisService
+from .requests import DEFAULT_TENANT, DiagnosisRequest, DiagnosisResponse, validate_tenant
+from .service import DiagnosisService, RejectedError
 
 __all__ = [
     "LoadSpec",
     "LoadReport",
+    "FairnessSpec",
+    "FairnessReport",
     "build_client_streams",
     "run_load",
     "run_load_http",
     "run_load_http_sync",
     "run_load_sync",
+    "run_fairness",
+    "run_fairness_sync",
 ]
 
 #: The benchmark's default request mix (the acceptance workload): two
@@ -59,6 +72,7 @@ class LoadSpec:
     placement: str = "random"
     behavior: str = "random"
     fault_count: int | None = None
+    tenant: str = DEFAULT_TENANT  # every generated request bills to this tenant
 
     @classmethod
     def from_mix(
@@ -72,6 +86,7 @@ class LoadSpec:
         placement: str = "random",
         behavior: str = "random",
         fault_count: int | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> "LoadSpec":
         if clients < 1:
             raise ValueError("clients must be at least 1")
@@ -93,6 +108,7 @@ class LoadSpec:
             placement=placement,
             behavior=behavior,
             fault_count=fault_count,
+            tenant=validate_tenant(tenant),
         )
 
     @property
@@ -120,6 +136,7 @@ def build_client_streams(spec: LoadSpec) -> list[list[DiagnosisRequest]]:
                     fault_count=spec.fault_count,
                     behavior=spec.behavior,
                     seed=int(rng.integers(spec.seed_pool)),
+                    tenant=spec.tenant,
                 )
             )
         streams.append(stream)
@@ -340,3 +357,225 @@ def run_load_sync(
     if verify:
         verify_against_direct(spec, report)
     return report
+
+
+# --------------------------------------------------------------------------
+# Adversarial multi-tenant fairness harness
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FairnessSpec:
+    """One hot tenant's open-loop burst vs many cold closed-loop tenants.
+
+    The hot tenant submits ``hot_requests`` all at once and never retries a
+    shed; each of ``cold_tenants`` cold tenants runs a closed-loop stream of
+    ``cold_requests_per_tenant`` requests.  ``max_queue_per_tenant`` is the
+    quota the burst slams into.  ``batch_delay`` must comfortably exceed the
+    time to submit the burst (the default 50 ms is thousands of submissions'
+    worth) so the whole burst meets admission control before any dispatch
+    frees a slot — that is what makes the shed split a pure function of
+    submission order.
+    """
+
+    instances: tuple[tuple[str, tuple[tuple[str, int], ...]], ...]
+    hot_tenant: str = "hot"
+    cold_tenants: int = 4
+    hot_requests: int = 32
+    cold_requests_per_tenant: int = 4
+    max_queue_per_tenant: int = 4
+    tenant_weights: tuple[tuple[str, int], ...] = ()
+    seed: int = 0
+    seed_pool: int = 8
+    max_batch_size: int = 8
+    batch_delay: float = 0.05
+
+    @classmethod
+    def from_mix(
+        cls,
+        mix=DEFAULT_MIX,
+        *,
+        hot_tenant: str = "hot",
+        cold_tenants: int = 4,
+        hot_requests: int = 32,
+        cold_requests_per_tenant: int = 4,
+        max_queue_per_tenant: int = 4,
+        tenant_weights: dict[str, int] | None = None,
+        seed: int = 0,
+        seed_pool: int = 8,
+        max_batch_size: int = 8,
+        batch_delay: float = 0.05,
+    ) -> "FairnessSpec":
+        if cold_tenants < 1:
+            raise ValueError("cold_tenants must be at least 1")
+        if hot_requests < 1 or cold_requests_per_tenant < 1:
+            raise ValueError("request counts must be at least 1")
+        if max_queue_per_tenant < 1:
+            raise ValueError("max_queue_per_tenant must be at least 1")
+        instances = tuple(
+            (family, tuple(sorted(dict(params).items()))) for family, params in mix
+        )
+        if not instances:
+            raise ValueError("the request mix must name at least one instance")
+        return cls(
+            instances=instances,
+            hot_tenant=validate_tenant(hot_tenant),
+            cold_tenants=cold_tenants,
+            hot_requests=hot_requests,
+            cold_requests_per_tenant=cold_requests_per_tenant,
+            max_queue_per_tenant=max_queue_per_tenant,
+            tenant_weights=tuple(sorted((tenant_weights or {}).items())),
+            seed=seed,
+            seed_pool=seed_pool,
+            max_batch_size=max_batch_size,
+            batch_delay=batch_delay,
+        )
+
+    def cold_tenant(self, index: int) -> str:
+        return f"cold-{index:02d}"
+
+    def streams(self) -> tuple[list[DiagnosisRequest], list[list[DiagnosisRequest]]]:
+        """``(hot burst, cold streams)`` — deterministic given the seed.
+
+        Client 0 of the underlying derivation is the hot tenant; clients
+        ``1..cold_tenants`` are the cold tenants, so the request content
+        never depends on how many tenants compete.
+        """
+        base = LoadSpec(
+            instances=self.instances,
+            clients=1 + self.cold_tenants,
+            requests_per_client=max(
+                self.hot_requests, self.cold_requests_per_tenant
+            ),
+            seed=self.seed,
+            seed_pool=self.seed_pool,
+        )
+        raw = build_client_streams(base)
+        hot = [
+            replace(request, tenant=self.hot_tenant)
+            for request in raw[0][: self.hot_requests]
+        ]
+        cold = [
+            [
+                replace(request, tenant=self.cold_tenant(index))
+                for request in stream[: self.cold_requests_per_tenant]
+            ]
+            for index, stream in enumerate(raw[1:])
+        ]
+        return hot, cold
+
+
+@dataclass
+class FairnessReport:
+    """Outcome of one adversarial fairness run."""
+
+    spec: FairnessSpec = field(repr=False, default=None)
+    hot_served: int = 0
+    hot_shed_indices: tuple[int, ...] = ()
+    cold_served: dict[str, int] = field(default_factory=dict)
+    cold_expected: dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    stats: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def hot_shed(self) -> int:
+        return len(self.hot_shed_indices)
+
+    @property
+    def cold_completion(self) -> float:
+        """Fraction of cold requests that completed (the headline number)."""
+        expected = sum(self.cold_expected.values())
+        return sum(self.cold_served.values()) / expected if expected else 1.0
+
+    def split(self) -> dict:
+        """The deterministic fingerprint of the run.
+
+        Only submission-order facts appear here — which hot indices were
+        shed, and how many requests each tenant got served — never timing or
+        response sources, so two runs of the same spec must produce
+        byte-identical ``json.dumps(report.split(), sort_keys=True)``.
+        """
+        return {
+            "hot_tenant": self.spec.hot_tenant,
+            "hot_requests": self.spec.hot_requests,
+            "hot_served": self.hot_served,
+            "hot_shed_indices": list(self.hot_shed_indices),
+            "cold_served": dict(sorted(self.cold_served.items())),
+        }
+
+    def summary(self) -> dict:
+        """The JSON block the CLI prints and the benchmark records."""
+        return {
+            "hot_tenant": self.spec.hot_tenant,
+            "hot_requests": self.spec.hot_requests,
+            "hot_served": self.hot_served,
+            "hot_shed": self.hot_shed,
+            "cold_tenants": self.spec.cold_tenants,
+            "cold_requests": sum(self.cold_expected.values()),
+            "cold_completion": self.cold_completion,
+            "max_queue_per_tenant": self.spec.max_queue_per_tenant,
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+async def run_fairness(
+    spec: FairnessSpec, *, pool=None, store=None
+) -> FairnessReport:
+    """Run the adversarial mix on a fresh service; see :class:`FairnessSpec`.
+
+    The hot burst's submissions are scheduled (in order) before any cold
+    submission, so its shed split depends only on the spec.
+    """
+    hot_stream, cold_streams = spec.streams()
+    service = DiagnosisService(
+        pool=pool,
+        store=store,
+        coalesce=True,
+        max_batch_size=spec.max_batch_size,
+        batch_delay=spec.batch_delay,
+        max_queue_per_tenant=spec.max_queue_per_tenant,
+        tenant_weights=dict(spec.tenant_weights) or None,
+    )
+    async with service:
+        start = time.perf_counter()
+        hot_burst = asyncio.gather(
+            *(service.submit(request) for request in hot_stream),
+            return_exceptions=True,
+        )
+        cold_runs = asyncio.gather(
+            *(service.serve_sequence(stream) for stream in cold_streams)
+        )
+        hot_outcomes, cold_outcomes = await asyncio.gather(hot_burst, cold_runs)
+        wall = time.perf_counter() - start
+
+        shed = []
+        served = 0
+        for index, outcome in enumerate(hot_outcomes):
+            if isinstance(outcome, RejectedError):
+                shed.append(index)
+            elif isinstance(outcome, DiagnosisResponse):
+                served += 1
+            else:
+                raise outcome  # a bug, not an admission decision
+        report = FairnessReport(
+            spec=spec,
+            hot_served=served,
+            hot_shed_indices=tuple(shed),
+            cold_served={
+                spec.cold_tenant(index): len(responses)
+                for index, responses in enumerate(cold_outcomes)
+            },
+            cold_expected={
+                spec.cold_tenant(index): len(stream)
+                for index, stream in enumerate(cold_streams)
+            },
+            wall_seconds=wall,
+            stats=service.stats(),
+        )
+    return report
+
+
+def run_fairness_sync(
+    spec: FairnessSpec, *, pool=None, store=None
+) -> FairnessReport:
+    """One-call form of :func:`run_fairness` (``asyncio.run`` wrapper)."""
+    return asyncio.run(run_fairness(spec, pool=pool, store=store))

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["Histogram", "ServiceMetrics"]
+__all__ = ["Histogram", "ServiceMetrics", "TENANT_COUNTERS"]
 
 
 class Histogram:
@@ -107,8 +107,23 @@ class Histogram:
         }
 
 
+#: Counter names of one tenant's accounting row (see
+#: :meth:`ServiceMetrics.tenant`); ``admitted`` counts every request that
+#: was not shed (store hits and coalesced joins included), ``rejected``
+#: counts sheds, and the three source counters sum to the served total.
+TENANT_COUNTERS = (
+    "admitted", "rejected", "computed", "store_hits", "coalesced", "errors",
+)
+
+
 class ServiceMetrics:
-    """All counters and histograms of one :class:`DiagnosisService`."""
+    """All counters and histograms of one :class:`DiagnosisService`.
+
+    The global counters aggregate across tenants; :attr:`tenants` keeps one
+    small counter row per tenant name seen, which is what the Prometheus
+    exporter turns into ``{tenant="..."}``-labelled series and the fairness
+    load generator pins its splits against.
+    """
 
     def __init__(self) -> None:
         self.requests = 0
@@ -121,6 +136,9 @@ class ServiceMetrics:
         self.coalesced_batches = 0  # batches serving >1 request
         self.worker_compiles = 0
         self.worker_pair_builds = 0
+        #: per-tenant counter rows, keyed by tenant name (insertion order =
+        #: first-seen order; the snapshot sorts for stable output)
+        self.tenants: dict[str, dict[str, int]] = {}
         #: end-to-end seconds from submit to response, per request
         self.latency = Histogram()
         #: seconds a batch's requests waited before dispatch
@@ -132,15 +150,24 @@ class ServiceMetrics:
         self.queue_depth = Histogram(smallest=1.0, growth=1.5)
 
     # ------------------------------------------------------------- recorders
-    def record_enqueue(self, depth: int) -> None:
+    def tenant(self, tenant: str) -> dict[str, int]:
+        """The counter row of one tenant (created zeroed on first touch)."""
+        row = self.tenants.get(tenant)
+        if row is None:
+            row = self.tenants[tenant] = dict.fromkeys(TENANT_COUNTERS, 0)
+        return row
+
+    def record_enqueue(self, depth: int, *, tenant: str = "default") -> None:
         self.requests += 1
         self.queue_depth.record(depth)
+        self.tenant(tenant)["admitted"] += 1
 
-    def record_rejection(self, depth: int) -> None:
+    def record_rejection(self, depth: int, *, tenant: str = "default") -> None:
         """A request shed by admission control at the observed queue depth."""
         self.requests += 1
         self.rejected += 1
         self.queue_depth.record(depth)
+        self.tenant(tenant)["rejected"] += 1
 
     def record_batch(
         self,
@@ -169,18 +196,23 @@ class ServiceMetrics:
         self.worker_pair_builds += pair_builds
 
     def record_response(self, source: str, latency_seconds: float, *,
-                        ok: bool = True) -> None:
+                        ok: bool = True, tenant: str = "default") -> None:
         self.latency.record(latency_seconds)
+        row = self.tenant(tenant)
         if source == "computed":
             self.computed += 1
+            row["computed"] += 1
         elif source == "store":
             self.store_hits += 1
+            row["store_hits"] += 1
         elif source == "coalesced":
             self.coalesced_duplicates += 1
+            row["coalesced"] += 1
         else:
             raise ValueError(f"unknown response source {source!r}")
         if not ok:
             self.errors += 1
+            row["errors"] += 1
 
     # -------------------------------------------------------------- snapshot
     def snapshot(self) -> dict:
@@ -201,4 +233,9 @@ class ServiceMetrics:
             "queue_wait_ms": self.queue_wait.summary(scale=1e3),
             "batch_size": self.batch_size.summary(digits=1),
             "queue_depth": self.queue_depth.summary(digits=1),
+            "tenants": {
+                tenant: {**row, "served": row["computed"] + row["store_hits"]
+                         + row["coalesced"]}
+                for tenant, row in sorted(self.tenants.items())
+            },
         }

@@ -30,12 +30,46 @@ import json
 from dataclasses import asdict, dataclass, field
 
 __all__ = [
+    "DEFAULT_TENANT",
     "DiagnosisRequest",
     "DiagnosisResponse",
     "topology_key",
     "request_key",
     "syndrome_digest",
+    "validate_tenant",
 ]
+
+#: The tenant a request belongs to when nothing names one — wire bodies,
+#: JSONL lines and in-process callers that predate multi-tenancy all land
+#: here, so single-tenant deployments keep exactly their old behaviour.
+DEFAULT_TENANT = "default"
+
+#: Characters a tenant name may use.  The bound keeps names safe as
+#: Prometheus label values, HTTP header values and queue keys without any
+#: per-surface escaping beyond the exporter's standard label escaping.
+_TENANT_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._:@/-"
+)
+_TENANT_MAX_LENGTH = 64
+
+
+def validate_tenant(tenant) -> str:
+    """Check a tenant name (non-empty, bounded, label-safe); returns it."""
+    if not isinstance(tenant, str) or not tenant:
+        raise ValueError(
+            f"tenant must be a non-empty string, got {tenant!r}"
+        )
+    if len(tenant) > _TENANT_MAX_LENGTH:
+        raise ValueError(
+            f"tenant name exceeds {_TENANT_MAX_LENGTH} characters: {tenant!r}"
+        )
+    bad = set(tenant) - _TENANT_CHARS
+    if bad:
+        raise ValueError(
+            f"tenant {tenant!r} contains forbidden characters {sorted(bad)}; "
+            f"allowed: letters, digits and ._:@/-"
+        )
+    return tenant
 
 
 def topology_key(family: str, params) -> str:
@@ -57,6 +91,13 @@ class DiagnosisRequest:
     ``syndrome_bytes`` switches the request to explicit-syndrome form: the
     service diagnoses that exact buffer and the seeded fields
     (``placement``/``fault_count``/``behavior``/``seed``) are ignored.
+
+    ``tenant`` names the client the request is billed to: admission quotas
+    and the fair-queueing scheduler account per tenant, and the metrics
+    surface labels counters with it.  It is deliberately **not** part of
+    :func:`request_key` or :func:`topology_key` — identical work is identical
+    work, so two tenants asking the same question still coalesce onto one
+    computation and one stored row (neither consumes the other's quota).
     """
 
     family: str
@@ -65,6 +106,7 @@ class DiagnosisRequest:
     fault_count: int | None = None  # None -> the network's diagnosability
     behavior: str = "random"
     seed: int = 0
+    tenant: str = DEFAULT_TENANT
     syndrome_bytes: bytes | None = field(default=None, repr=False)
 
     @classmethod
@@ -77,6 +119,7 @@ class DiagnosisRequest:
         fault_count: int | None = None,
         behavior: str = "random",
         seed: int = 0,
+        tenant: str = DEFAULT_TENANT,
     ) -> "DiagnosisRequest":
         return cls(
             family=family,
@@ -85,29 +128,38 @@ class DiagnosisRequest:
             fault_count=fault_count,
             behavior=behavior,
             seed=seed,
+            tenant=validate_tenant(tenant),
         )
 
     @classmethod
-    def from_syndrome(cls, family: str, params: dict, syndrome) -> "DiagnosisRequest":
+    def from_syndrome(
+        cls, family: str, params: dict, syndrome, *, tenant: str = DEFAULT_TENANT
+    ) -> "DiagnosisRequest":
         """An explicit-syndrome request from an ``ArraySyndrome`` (or buffer)."""
         buffer = getattr(syndrome, "buffer", syndrome)
         return cls(
             family=family,
             params=tuple(sorted(params.items())),
             syndrome_bytes=bytes(buffer),
+            tenant=validate_tenant(tenant),
         )
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "DiagnosisRequest":
+    def from_dict(
+        cls, payload: dict, *, default_tenant: str = DEFAULT_TENANT
+    ) -> "DiagnosisRequest":
         """Parse the JSON form used by JSONL files and the HTTP frontend.
 
         ``syndrome_hex`` (hex-encoded flat buffer) switches the parsed
         request to explicit-syndrome form, mirroring :meth:`from_syndrome`.
+        ``default_tenant`` is the tenant for bodies that name none — the HTTP
+        frontend passes its ``X-Tenant`` header here, so a body-level
+        ``tenant`` field always wins over the connection-level header.
         """
         if not isinstance(payload, dict):
             raise ValueError(f"request must be a JSON object, got {type(payload).__name__}")
         known = {"family", "params", "placement", "fault_count", "behavior",
-                 "seed", "syndrome_hex"}
+                 "seed", "tenant", "syndrome_hex"}
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown request fields: {sorted(unknown)}")
@@ -122,6 +174,7 @@ class DiagnosisRequest:
                 raise ValueError(
                     f"param {name!r} must be an integer, got {value!r}"
                 )
+        tenant = validate_tenant(payload.get("tenant", default_tenant))
         if payload.get("syndrome_hex") is not None:
             seeded_only = {"placement", "fault_count", "behavior", "seed"} & set(payload)
             if seeded_only:
@@ -133,7 +186,9 @@ class DiagnosisRequest:
                 buffer = bytes.fromhex(payload["syndrome_hex"])
             except (ValueError, TypeError) as exc:
                 raise ValueError(f"bad syndrome_hex: {exc}")
-            return cls.from_syndrome(payload["family"], dict(params), buffer)
+            return cls.from_syndrome(
+                payload["family"], dict(params), buffer, tenant=tenant
+            )
         return cls.seeded(
             payload["family"],
             dict(params),
@@ -141,24 +196,33 @@ class DiagnosisRequest:
             fault_count=payload.get("fault_count"),
             behavior=payload.get("behavior", "random"),
             seed=int(payload.get("seed", 0)),
+            tenant=tenant,
         )
 
     def to_wire(self) -> dict:
-        """The JSON object :meth:`from_dict` parses back (HTTP request body)."""
+        """The JSON object :meth:`from_dict` parses back (HTTP request body).
+
+        The default tenant is omitted, keeping single-tenant wire bodies
+        byte-identical to their pre-tenancy form.
+        """
         if self.is_explicit:
-            return {
+            record = {
                 "family": self.family,
                 "params": dict(self.params),
                 "syndrome_hex": self.syndrome_bytes.hex(),
             }
-        return {
-            "family": self.family,
-            "params": dict(self.params),
-            "placement": self.placement,
-            "fault_count": self.fault_count,
-            "behavior": self.behavior,
-            "seed": self.seed,
-        }
+        else:
+            record = {
+                "family": self.family,
+                "params": dict(self.params),
+                "placement": self.placement,
+                "fault_count": self.fault_count,
+                "behavior": self.behavior,
+                "seed": self.seed,
+            }
+        if self.tenant != DEFAULT_TENANT:
+            record["tenant"] = self.tenant
+        return record
 
     # ------------------------------------------------------------------- keys
     @property
@@ -179,10 +243,12 @@ class DiagnosisRequest:
         return request_key(self)
 
     def describe(self) -> str:
+        prefix = "" if self.tenant == DEFAULT_TENANT else f"[{self.tenant}] "
         if self.is_explicit:
-            return f"{self.topology_key} syndrome@{syndrome_digest(self.syndrome_bytes)[:12]}"
+            return (f"{prefix}{self.topology_key} "
+                    f"syndrome@{syndrome_digest(self.syndrome_bytes)[:12]}")
         count = "delta" if self.fault_count is None else str(self.fault_count)
-        return (f"{self.topology_key} {self.placement}/{count} "
+        return (f"{prefix}{self.topology_key} {self.placement}/{count} "
                 f"{self.behavior} seed={self.seed}")
 
 
@@ -191,7 +257,9 @@ def request_key(request: DiagnosisRequest) -> str:
 
     Seeded requests key on their generation parameters (no topology work
     needed to recognise a repeat); explicit-syndrome requests key on the
-    content digest of their buffer.
+    content digest of their buffer.  The tenant is deliberately absent:
+    dedup is about the *work*, and a cross-tenant store hit or coalesced
+    join consumes no queue slot from either tenant.
     """
     if request.is_explicit:
         return f"{request.topology_key}|sha256:{syndrome_digest(request.syndrome_bytes)}"

@@ -15,6 +15,16 @@ pipeline into amortised batched work:
    unit — in-process, or as one :class:`~repro.parallel.pool.WorkerPool`
    task mapping the topology (pair members included) out of shared memory.
 
+Multi-tenancy sits across all three stages: every request carries a
+``tenant``, each topology's queue is a per-tenant deficit-round-robin
+structure (:class:`~repro.service.fairqueue.TenantQueues`) so one hot tenant
+cannot starve cold ones out of a batch, ``max_queue_per_tenant`` bounds each
+tenant's queued share (on top of the global ``max_queue_depth``), and every
+counter the service keeps is also accounted per tenant.  Store hits and
+in-flight coalesced joins consume **no** queue slot from any tenant — dedup
+crosses tenant boundaries by design (the work is identical), only queueing
+is partitioned.
+
 Batches report their executing process's compile-count and pair-build
 deltas; on the serving path both stay at zero — the PR-3 counters extended
 into the serving layer, so "zero per-request recompilation" is measured,
@@ -32,6 +42,7 @@ from typing import Iterable, Sequence
 
 from .cache import LRUCache
 from .executor import resolve_topology, run_batch_local, run_batch_task, validate_request
+from .fairqueue import TenantQueues
 from .metrics import ServiceMetrics
 from .requests import DiagnosisRequest, DiagnosisResponse
 from .store import ResultStore
@@ -40,20 +51,35 @@ __all__ = ["DiagnosisService", "RejectedError"]
 
 
 class RejectedError(RuntimeError):
-    """A request shed by admission control (queue at ``max_queue_depth``).
+    """A request shed by admission control.
 
     The in-process face of HTTP 429: the service answers immediately instead
     of queueing without bound, and the caller decides whether to back off and
-    retry.  Store hits and in-flight coalesced joins are never rejected —
-    they consume no queue slot.
+    retry.  ``scope`` records which bound shed the request — ``"global"``
+    (queue at ``max_queue_depth``) or ``"tenant"`` (the request's tenant at
+    its ``max_queue_per_tenant`` quota).  Store hits and in-flight coalesced
+    joins are never rejected — they consume no queue slot.
     """
 
-    def __init__(self, depth: int, limit: int) -> None:
-        super().__init__(
-            f"queue full: {depth} requests pending (max_queue_depth={limit})"
-        )
+    def __init__(
+        self,
+        depth: int,
+        limit: int,
+        *,
+        scope: str = "global",
+        tenant: str | None = None,
+    ) -> None:
+        if scope == "tenant":
+            message = (f"tenant {tenant!r} queue full: {depth} requests "
+                       f"pending (max_queue_per_tenant={limit})")
+        else:
+            message = (f"queue full: {depth} requests pending "
+                       f"(max_queue_depth={limit})")
+        super().__init__(message)
         self.depth = depth
         self.limit = limit
+        self.scope = scope
+        self.tenant = tenant
 
 
 @dataclass
@@ -102,6 +128,19 @@ class DiagnosisService:
         ``None`` (default) admits everything.  Requests answered without a
         queue slot — store hits and in-flight coalesced duplicates — are
         never shed.
+    max_queue_per_tenant:
+        Per-tenant admission quota: a request whose tenant already has this
+        many queued (not yet dispatched) requests is shed with
+        :class:`RejectedError` (``scope="tenant"``), whatever the global
+        queue looks like — one hot tenant exhausts its own quota, never the
+        whole edge.  The global bound still applies on top.  Like the global
+        bound, store hits and coalesced joins never consume a tenant's
+        quota.
+    tenant_weights:
+        ``tenant -> positive integer weight`` for the per-topology
+        deficit-round-robin scheduler; per DRR rotation a tenant may fill
+        ``weight`` slots of a batch (unnamed tenants weigh 1).  Weights
+        shape *ordering* under contention, quotas shape *admission*.
     """
 
     def __init__(
@@ -115,6 +154,8 @@ class DiagnosisService:
         store: ResultStore | None = None,
         metrics: ServiceMetrics | None = None,
         max_queue_depth: int | None = None,
+        max_queue_per_tenant: int | None = None,
+        tenant_weights: dict[str, int] | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
@@ -122,11 +163,20 @@ class DiagnosisService:
             raise ValueError("batch_delay must be non-negative")
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be at least 1 (or None)")
+        if max_queue_per_tenant is not None and max_queue_per_tenant < 1:
+            raise ValueError(
+                "max_queue_per_tenant must be at least 1 (or None)"
+            )
         self.pool = pool
         self.coalesce = coalesce
         self.max_batch_size = max_batch_size
         self.batch_delay = batch_delay
         self.max_queue_depth = max_queue_depth
+        self.max_queue_per_tenant = max_queue_per_tenant
+        # Validated eagerly (TenantQueues rejects bad weights) so a typo'd
+        # weight map fails at construction, not at the first enqueue.
+        self.tenant_weights = dict(tenant_weights or {})
+        TenantQueues(weights=self.tenant_weights)
         self.store = store
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._topologies: LRUCache[str, tuple] = LRUCache(
@@ -144,8 +194,11 @@ class DiagnosisService:
         #: while a batch measures its delta on another would bleed into that
         #: delta.  Pool batches measure worker-side and need no lock.
         self._local_execution = asyncio.Lock()
-        self._pending: dict[str, list[_Pending]] = {}
+        self._pending: dict[str, TenantQueues] = {}
         self._pending_total = 0
+        #: queued-but-undispatched requests per tenant, across topologies —
+        #: the number the per-tenant quota is enforced against
+        self._tenant_pending: dict[str, int] = {}
         self._full: dict[str, asyncio.Event] = {}
         self._dispatchers: dict[str, asyncio.Task] = {}
         self._inflight: dict[str, asyncio.Future] = {}
@@ -229,37 +282,53 @@ class DiagnosisService:
         if self._closed:
             raise RuntimeError("the service is closed")
         validate_request(request)
+        tenant = request.tenant
         loop = asyncio.get_running_loop()
         enqueued_at = loop.time()
 
         if self.store is not None:
             stored = self.store.get(request)
             if stored is not None:
-                self.metrics.record_enqueue(self._pending_total)
+                self.metrics.record_enqueue(self._pending_total, tenant=tenant)
                 latency = loop.time() - enqueued_at
                 response = replace(stored, elapsed_seconds=latency)
-                self.metrics.record_response("store", latency, ok=response.ok)
+                self.metrics.record_response(
+                    "store", latency, ok=response.ok, tenant=tenant
+                )
                 return response
 
         key = request.key
         if self.coalesce and key in self._inflight:
-            self.metrics.record_enqueue(self._pending_total)
+            self.metrics.record_enqueue(self._pending_total, tenant=tenant)
             response = await asyncio.shield(self._inflight[key])
             latency = loop.time() - enqueued_at
             response = replace(
                 response, source="coalesced", elapsed_seconds=latency
             )
-            self.metrics.record_response("coalesced", latency, ok=response.ok)
+            self.metrics.record_response(
+                "coalesced", latency, ok=response.ok, tenant=tenant
+            )
             return response
 
         # The request needs a queue slot from here on: admission control
-        # sheds it *now* if the queue is already at its bound, so overload
-        # turns into immediate, retryable refusals instead of latency.
+        # sheds it *now* if either bound is already met, so overload turns
+        # into immediate, retryable refusals instead of latency.  Both
+        # checks run before any state changes, and in a fixed order (global,
+        # then tenant), so the shed split of a burst is deterministic in
+        # submission order — the property the loadgen pins.
         if (self.max_queue_depth is not None
                 and self._pending_total >= self.max_queue_depth):
-            self.metrics.record_rejection(self._pending_total)
+            self.metrics.record_rejection(self._pending_total, tenant=tenant)
             raise RejectedError(self._pending_total, self.max_queue_depth)
-        self.metrics.record_enqueue(self._pending_total)
+        tenant_depth = self._tenant_pending.get(tenant, 0)
+        if (self.max_queue_per_tenant is not None
+                and tenant_depth >= self.max_queue_per_tenant):
+            self.metrics.record_rejection(self._pending_total, tenant=tenant)
+            raise RejectedError(
+                tenant_depth, self.max_queue_per_tenant,
+                scope="tenant", tenant=tenant,
+            )
+        self.metrics.record_enqueue(self._pending_total, tenant=tenant)
 
         future: asyncio.Future = loop.create_future()
         if self.coalesce:
@@ -274,7 +343,9 @@ class DiagnosisService:
         response = await asyncio.shield(future)
         latency = loop.time() - enqueued_at
         response = replace(response, elapsed_seconds=latency)
-        self.metrics.record_response("computed", latency, ok=response.ok)
+        self.metrics.record_response(
+            "computed", latency, ok=response.ok, tenant=tenant
+        )
         return response
 
     async def submit_many(
@@ -285,25 +356,48 @@ class DiagnosisService:
 
     # ------------------------------------------------------------- scheduling
     def _enqueue(self, pending: _Pending) -> None:
+        tenant = pending.request.tenant
         topology = pending.request.topology_key
-        batch = self._pending.setdefault(topology, [])
-        batch.append(pending)
+        queues = self._pending.get(topology)
+        if queues is None:
+            queues = self._pending[topology] = TenantQueues(
+                weights=self.tenant_weights
+            )
+        queues.push(tenant, pending)
         self._pending_total += 1
+        self._tenant_pending[tenant] = self._tenant_pending.get(tenant, 0) + 1
         if topology not in self._dispatchers:
             self._full[topology] = asyncio.Event()
             self._dispatchers[topology] = asyncio.create_task(
                 self._dispatch_loop(topology)
             )
-        if len(batch) >= self.max_batch_size:
+        if len(queues) >= self.max_batch_size:
             self._full[topology].set()
+
+    def _take_batch(self, topology: str) -> list[_Pending]:
+        """Drain up to one batch from a topology's queues (DRR order)."""
+        queues = self._pending.get(topology)
+        if queues is None:
+            return []
+        batch = queues.take(self.max_batch_size)
+        self._pending_total -= len(batch)
+        for pending in batch:
+            tenant = pending.request.tenant
+            remaining = self._tenant_pending[tenant] - 1
+            if remaining:
+                self._tenant_pending[tenant] = remaining
+            else:
+                del self._tenant_pending[tenant]
+        return batch
 
     async def _dispatch_loop(self, topology: str) -> None:
         """Per-topology dispatcher: hold the window open, drain, repeat.
 
         The task lives as long as its topology has queued requests (so
         :meth:`drain` need only await the registered dispatchers), draining
-        at most ``max_batch_size`` per batch — a full window dispatches
-        immediately and the overflow opens the next one.
+        at most ``max_batch_size`` per batch in deficit-round-robin tenant
+        order — a full window dispatches immediately and the overflow opens
+        the next one.
         """
         try:
             while True:
@@ -312,12 +406,10 @@ class DiagnosisService:
                     await asyncio.wait_for(full.wait(), timeout=self.batch_delay)
                 except TimeoutError:
                     pass
-                queued = self._pending.get(topology, [])
-                batch = queued[: self.max_batch_size]
-                del queued[: self.max_batch_size]
-                self._pending_total -= len(batch)
+                batch = self._take_batch(topology)
                 self._full[topology] = asyncio.Event()
-                if len(queued) >= self.max_batch_size:
+                queues = self._pending.get(topology)
+                if queues is not None and len(queues) >= self.max_batch_size:
                     self._full[topology].set()
                 if batch:
                     await self._execute_batch(topology, batch)
@@ -433,12 +525,38 @@ class DiagnosisService:
         """The ``stats`` endpoint: telemetry + cache + store in one dict."""
         body = self.metrics.snapshot()
         body["pending"] = self._pending_total
+        body["pending_by_tenant"] = {
+            tenant: depth
+            for tenant, depth in sorted(self._tenant_pending.items())
+        }
         body["max_queue_depth"] = self.max_queue_depth
+        body["max_queue_per_tenant"] = self.max_queue_per_tenant
+        body["tenant_weights"] = {
+            tenant: weight
+            for tenant, weight in sorted(self.tenant_weights.items())
+        }
         body["coalescing"] = self.coalesce
         body["pooled"] = self.pool is not None
         body["topology_cache"] = self._topologies.stats().as_dict()
         body["store"] = self.store.stats() if self.store is not None else None
         return body
+
+    def prometheus_text(self, *, http_stats: dict | None = None) -> str:
+        """The ``/metrics`` exposition body (see :mod:`.prometheus`).
+
+        ``http_stats`` is the HTTP frontend's counter dict when one fronts
+        this service; transportless callers omit it.
+        """
+        from .prometheus import render_metrics
+
+        return render_metrics(
+            self.metrics,
+            pending=self._pending_total,
+            pending_by_tenant=dict(self._tenant_pending),
+            cache_stats=self._topologies.stats().as_dict(),
+            store_stats=self.store.stats() if self.store is not None else None,
+            http_stats=http_stats,
+        )
 
     async def serve_sequence(
         self, requests: Sequence[DiagnosisRequest]

@@ -99,6 +99,7 @@ class ResultStore:
         self.dedup_writes = 0
         self.expired_evictions = 0
         self.lru_evictions = 0
+        self.clock_skew_skips = 0
         # A fresh process enforces the policy against inherited rows at
         # once — a bound is a property of the store, not of one run.
         if ttl_seconds is not None or max_rows is not None:
@@ -189,12 +190,26 @@ class ResultStore:
         if now is None:
             now = self._clock()
         if self.ttl_seconds is not None:
-            cursor = self._conn.execute(
-                "DELETE FROM results WHERE last_used < ?",
-                (now - self.ttl_seconds,),
-            )
-            self.expired_evictions += cursor.rowcount
-            evicted += cursor.rowcount
+            # Clock-regression clamp: ``last_used`` stamps come from the wall
+            # clock, and a backwards step (NTP correction, VM migration) can
+            # leave rows stamped *after* ``now``.  Idleness is then
+            # uncomputable — a row that looks ttl-old may have been written
+            # moments ago around the step — so if the newest stamp is in
+            # now's future the whole sweep is skipped (and counted) rather
+            # than mass-expiring fresh rows.  The LRU bound below is
+            # order-based, not age-based, and stays in force.
+            newest = self._conn.execute(
+                "SELECT MAX(last_used) FROM results"
+            ).fetchone()[0]
+            if newest is not None and now < newest:
+                self.clock_skew_skips += 1
+            else:
+                cursor = self._conn.execute(
+                    "DELETE FROM results WHERE last_used < ?",
+                    (now - self.ttl_seconds,),
+                )
+                self.expired_evictions += cursor.rowcount
+                evicted += cursor.rowcount
         if self.max_rows is not None:
             over = len(self) - self.max_rows
             if over > 0:
@@ -280,6 +295,7 @@ class ResultStore:
             "max_rows": self.max_rows,
             "expired_evictions": self.expired_evictions,
             "lru_evictions": self.lru_evictions,
+            "clock_skew_skips": self.clock_skew_skips,
         }
 
     def close(self) -> None:

@@ -15,6 +15,7 @@ from repro.service import (
     HttpFrontend,
     ResultStore,
     parse_http_target,
+    parse_metrics_text,
 )
 from repro.service.executor import run_direct
 
@@ -318,6 +319,228 @@ class TestLifecycle:
         with pytest.raises(RuntimeError, match="factory broke"):
             with BackgroundHttpServer(explode):
                 pass  # pragma: no cover - never entered
+
+
+class TestConnectionHeader:
+    """``Connection`` is a case-insensitive comma-separated token list.
+
+    Regression: the server used to compare the raw header string to
+    ``"close"``, so ``Connection: Close`` (or ``close, te``) left the
+    connection open and the peer hung waiting for EOF.
+    """
+
+    def test_helper_semantics(self):
+        from repro.service.http import _connection_requests_close
+
+        assert _connection_requests_close("close")
+        assert _connection_requests_close("Close")
+        assert _connection_requests_close("CLOSE")
+        assert _connection_requests_close("close, te")
+        assert _connection_requests_close(" keep-alive , Close ")
+        assert not _connection_requests_close("keep-alive")
+        assert not _connection_requests_close("closed")  # not the token
+        assert not _connection_requests_close("")
+        assert not _connection_requests_close(None)
+
+    def test_mixed_case_close_closes_the_connection(self):
+        async def inner(client, frontend, service):
+            status, _ = await client.request(
+                "GET", "/healthz", headers={"Connection": "Close"}
+            )
+            return status, client._writer is None
+
+        status, closed = _run(_with_frontend(inner))
+        assert status == 200
+        assert closed  # server answered Connection: close; client dropped it
+
+    def test_token_list_containing_close_closes(self):
+        async def inner(client, frontend, service):
+            status, _ = await client.request(
+                "GET", "/healthz", headers={"Connection": "close, TE"}
+            )
+            return status, client._writer is None
+
+        status, closed = _run(_with_frontend(inner))
+        assert status == 200
+        assert closed
+
+    def test_keep_alive_token_does_not_close(self):
+        async def inner(client, frontend, service):
+            for _ in range(2):
+                status, _ = await client.request(
+                    "GET", "/healthz", headers={"Connection": "keep-alive"}
+                )
+                assert status == 200
+            return client._writer is not None, frontend.connections_total
+
+        alive, connections = _run(_with_frontend(inner))
+        assert alive
+        assert connections == 1
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_and_matches_stats(self):
+        async def inner(client, frontend, service):
+            for seed in range(3):
+                status, _ = await client.diagnose(_request(seed))
+                assert status == 200
+            status, _ = await client.request(
+                "POST", "/diagnose", _request(7).to_wire(),
+                headers={"X-Tenant": "acme"},
+            )
+            assert status == 200
+            text = await client.metrics_text()
+            stats = await client.stats()
+            return text, stats
+
+        text, stats = _run(_with_frontend(inner, store=ResultStore()))
+        samples = parse_metrics_text(text)
+
+        def sample(name, **labels):
+            return samples[(name, tuple(sorted(labels.items())))]
+
+        assert sample("repro_requests_total") == stats["requests"] == 4
+        assert sample("repro_tenant_admitted_total", tenant="default") == 3
+        assert sample("repro_tenant_admitted_total", tenant="acme") == 1
+        assert sample("repro_store_results") == stats["store"]["results"] == 4
+        assert sample("repro_request_latency_seconds_count") == 4
+        # The scrape itself was the fifth HTTP request on this connection.
+        assert sample("repro_http_requests_total") == 5
+        assert sample("repro_http_connections_total") == 1
+        # Per-tenant series sum to the global counters.
+        admitted = sum(
+            value for (name, _), value in samples.items()
+            if name == "repro_tenant_admitted_total"
+        )
+        assert admitted == stats["requests"]
+
+    def test_content_type_is_prometheus_text(self):
+        async def inner(client, frontend, service):
+            client._writer.write(b"GET /metrics HTTP/1.1\r\n\r\n")
+            await client._writer.drain()
+            head = await client._reader.readuntil(b"\r\n\r\n")
+            headers = {}
+            for line in head.decode("latin-1").split("\r\n")[1:]:
+                if line:
+                    name, _, value = line.partition(":")
+                    headers[name.strip().lower()] = value.strip()
+            body = await client._reader.readexactly(
+                int(headers["content-length"])
+            )
+            return headers, body.decode()
+
+        headers, body = _run(_with_frontend(inner))
+        assert headers["content-type"] == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+        parse_metrics_text(body)  # structurally valid even with zero traffic
+
+    def test_post_is_405(self):
+        async def inner(client, frontend, service):
+            return await client.request("POST", "/metrics")
+
+        status, payload = _run(_with_frontend(inner))
+        assert status == 405
+        assert "GET" in payload["error"]
+
+
+class TestDashboard:
+    def test_dashboard_is_html_over_stats(self):
+        async def inner(client, frontend, service):
+            status, _ = await client.request(
+                "POST", "/diagnose", _request(0).to_wire(),
+                headers={"X-Tenant": "acme"},
+            )
+            assert status == 200
+            return await client.request("GET", "/dashboard")
+
+        status, body = _run(_with_frontend(inner))
+        assert status == 200
+        assert isinstance(body, str)
+        assert body.startswith("<!DOCTYPE html>")
+        assert "acme" in body
+        assert "</html>" in body
+
+    def test_post_is_405(self):
+        async def inner(client, frontend, service):
+            return await client.request("POST", "/dashboard")
+
+        status, payload = _run(_with_frontend(inner))
+        assert status == 405
+
+
+class TestTenantHeader:
+    def test_header_sets_the_default_tenant(self):
+        async def inner(client, frontend, service):
+            status, _ = await client.request(
+                "POST", "/diagnose", _request(0).to_wire(),
+                headers={"X-Tenant": "acme"},
+            )
+            assert status == 200
+            return await client.stats()
+
+        stats = _run(_with_frontend(inner))
+        assert stats["tenants"]["acme"]["admitted"] == 1
+        assert "default" not in stats["tenants"]
+
+    def test_body_tenant_wins_over_header(self):
+        async def inner(client, frontend, service):
+            status, _ = await client.request(
+                "POST", "/diagnose", _request(0, tenant="vip").to_wire(),
+                headers={"X-Tenant": "acme"},
+            )
+            assert status == 200
+            return await client.stats()
+
+        stats = _run(_with_frontend(inner))
+        assert stats["tenants"]["vip"]["admitted"] == 1
+        assert "acme" not in stats["tenants"]
+
+    def test_header_applies_per_item_in_batch_bodies(self):
+        async def inner(client, frontend, service):
+            body = {"requests": [
+                _request(0).to_wire(),
+                _request(1, tenant="vip").to_wire(),
+            ]}
+            status, payload = await client.request(
+                "POST", "/diagnose", body, headers={"X-Tenant": "acme"}
+            )
+            assert status == 200
+            assert len(payload["responses"]) == 2
+            return await client.stats()
+
+        stats = _run(_with_frontend(inner))
+        assert stats["tenants"]["acme"]["admitted"] == 1
+        assert stats["tenants"]["vip"]["admitted"] == 1
+
+    def test_invalid_header_is_400(self):
+        async def inner(client, frontend, service):
+            return await client.request(
+                "POST", "/diagnose", _request(0).to_wire(),
+                headers={"X-Tenant": "no spaces allowed"},
+            )
+
+        status, payload = _run(_with_frontend(inner))
+        assert status == 400
+        assert payload["error"].startswith("X-Tenant header:")
+
+    def test_quota_shed_answers_429_per_tenant(self):
+        async def inner(client, frontend, service):
+            body = {"requests": [
+                _request(seed, tenant="hot").to_wire() for seed in range(4)
+            ]}
+            status, payload = await client.request("POST", "/diagnose", body)
+            assert status == 200
+            rejected = [e for e in payload["responses"] if e.get("rejected")]
+            return rejected, await client.stats()
+
+        rejected, stats = _run(_with_frontend(
+            inner, max_queue_per_tenant=2, batch_delay=0.05
+        ))
+        assert len(rejected) == 2
+        assert all("hot" in entry["error"] for entry in rejected)
+        assert stats["tenants"]["hot"]["rejected"] == 2
+        assert stats["tenants"]["hot"]["admitted"] == 2
 
 
 class TestTargetParsing:

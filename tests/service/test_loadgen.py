@@ -129,3 +129,102 @@ class TestHttpTransport:
 
         with pytest.raises(ValueError, match="explicit port"):
             run_load_http_sync(_spec(), "http://localhost")
+
+
+class TestTenantStreams:
+    def test_streams_carry_the_spec_tenant(self):
+        spec = _spec(tenant="acme")
+        streams = build_client_streams(spec)
+        assert all(
+            request.tenant == "acme"
+            for stream in streams for request in stream
+        )
+
+    def test_tenant_does_not_perturb_the_request_sequence(self):
+        plain = build_client_streams(_spec())
+        tenanted = build_client_streams(_spec(tenant="acme"))
+        for a, b in zip(plain, tenanted):
+            assert [r.seed for r in a] == [r.seed for r in b]
+            assert [r.family for r in a] == [r.family for r in b]
+
+    def test_invalid_tenant_rejected(self):
+        with pytest.raises(ValueError, match="tenant"):
+            _spec(tenant="")
+
+
+class TestFairness:
+    def _spec(self, **kwargs):
+        from repro.service import FairnessSpec
+
+        defaults = dict(
+            hot_requests=12, cold_tenants=3, cold_requests_per_tenant=2,
+            max_queue_per_tenant=2, seed=0, seed_pool=64,
+        )
+        defaults.update(kwargs)
+        return FairnessSpec.from_mix(MIX, **defaults)
+
+    def test_cold_tenants_complete_while_hot_is_shed(self):
+        from repro.service import run_fairness_sync
+
+        report = run_fairness_sync(self._spec())
+        assert report.cold_completion == 1.0  # the acceptance criterion
+        assert report.hot_shed > 0  # the burst hit its quota
+        assert report.hot_served + report.hot_shed == 12
+        # seed_pool=64 over 12 requests: no coalesced joins, so the hot
+        # tenant serves exactly its quota slots.
+        assert report.hot_served == 2
+
+    def test_shed_split_is_deterministic(self):
+        import json
+
+        from repro.service import run_fairness_sync
+
+        first = run_fairness_sync(self._spec())
+        second = run_fairness_sync(self._spec())
+        assert json.dumps(first.split(), sort_keys=True) == \
+            json.dumps(second.split(), sort_keys=True)
+        # The split is by submission order: the quota slots go to the first
+        # requests of the burst, everything after sheds.
+        assert first.hot_shed_indices == tuple(range(2, 12))
+
+    def test_coalesced_joins_ride_past_the_quota(self):
+        from repro.service import run_fairness_sync
+
+        # seed_pool=2 forces duplicate requests inside the burst: joins on
+        # an in-flight key consume no quota slot, so more than quota serves.
+        report = run_fairness_sync(self._spec(seed_pool=2))
+        assert report.hot_served > 2
+        assert report.cold_completion == 1.0
+
+    def test_summary_shape(self):
+        from repro.service import run_fairness_sync
+
+        report = run_fairness_sync(self._spec())
+        summary = report.summary()
+        assert summary["hot_tenant"] == "hot"
+        assert summary["hot_requests"] == 12
+        assert summary["hot_served"] + summary["hot_shed"] == 12
+        assert summary["cold_completion"] == 1.0
+        assert summary["max_queue_per_tenant"] == 2
+        assert report.stats["tenants"]["hot"]["rejected"] == report.hot_shed
+
+    def test_weights_reach_the_service(self):
+        from repro.service import run_fairness_sync
+
+        report = run_fairness_sync(
+            self._spec(tenant_weights={"hot": 2, "cold-00": 1})
+        )
+        assert report.stats["tenant_weights"] == {"hot": 2, "cold-00": 1}
+        assert report.cold_completion == 1.0
+
+    def test_spec_validation(self):
+        from repro.service import FairnessSpec
+
+        with pytest.raises(ValueError, match="cold_tenants"):
+            FairnessSpec.from_mix(MIX, cold_tenants=0)
+        with pytest.raises(ValueError, match="request counts"):
+            FairnessSpec.from_mix(MIX, hot_requests=0)
+        with pytest.raises(ValueError, match="max_queue_per_tenant"):
+            FairnessSpec.from_mix(MIX, max_queue_per_tenant=0)
+        with pytest.raises(ValueError, match="at least one instance"):
+            FairnessSpec.from_mix([])

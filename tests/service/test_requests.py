@@ -70,3 +70,65 @@ class TestFromDict:
             )
         with pytest.raises(ValueError, match="must be an object"):
             DiagnosisRequest.from_dict({"family": "hypercube", "params": [7]})
+
+
+class TestTenant:
+    def test_default_tenant(self):
+        from repro.service.requests import DEFAULT_TENANT
+
+        request = DiagnosisRequest.seeded("hypercube", {"dimension": 6}, seed=0)
+        assert request.tenant == DEFAULT_TENANT == "default"
+
+    def test_tenant_excluded_from_request_key(self):
+        # Two tenants asking the same question share one content address:
+        # coalescing and store dedup cross tenant boundaries by design.
+        mine = DiagnosisRequest.seeded(
+            "hypercube", {"dimension": 6}, seed=0, tenant="mine"
+        )
+        yours = DiagnosisRequest.seeded(
+            "hypercube", {"dimension": 6}, seed=0, tenant="yours"
+        )
+        assert request_key(mine) == request_key(yours)
+
+    def test_wire_roundtrip_preserves_tenant(self):
+        request = DiagnosisRequest.seeded(
+            "hypercube", {"dimension": 6}, seed=3, tenant="acme"
+        )
+        wire = request.to_wire()
+        assert wire["tenant"] == "acme"
+        assert DiagnosisRequest.from_dict(wire) == request
+
+    def test_default_tenant_omitted_from_wire(self):
+        request = DiagnosisRequest.seeded("hypercube", {"dimension": 6}, seed=3)
+        assert "tenant" not in request.to_wire()
+
+    def test_from_dict_default_tenant_applies_only_when_unnamed(self):
+        unnamed = DiagnosisRequest.from_dict(
+            {"family": "hypercube"}, default_tenant="header"
+        )
+        assert unnamed.tenant == "header"
+        named = DiagnosisRequest.from_dict(
+            {"family": "hypercube", "tenant": "body"}, default_tenant="header"
+        )
+        assert named.tenant == "body"  # the body always wins
+
+    def test_describe_prefixes_non_default_tenant(self):
+        request = DiagnosisRequest.seeded(
+            "star", {"n": 6}, seed=2, tenant="acme"
+        )
+        assert request.describe().startswith("[acme] ")
+
+    def test_validation(self):
+        from repro.service.requests import validate_tenant
+
+        assert validate_tenant("a.b:c@d-e_f") == "a.b:c@d-e_f"
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_tenant("")
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_tenant(7)
+        with pytest.raises(ValueError, match="exceeds"):
+            validate_tenant("x" * 65)
+        with pytest.raises(ValueError, match="forbidden"):
+            validate_tenant("no spaces")
+        with pytest.raises(ValueError, match="forbidden"):
+            validate_tenant('quo"te')

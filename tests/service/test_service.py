@@ -278,6 +278,168 @@ class TestAdmissionControl:
             DiagnosisService(max_queue_depth=0)
 
 
+class TestTenantAdmission:
+    def test_tenant_quota_sheds_deterministically(self):
+        service = DiagnosisService(max_queue_per_tenant=2, batch_delay=0.05)
+
+        async def run():
+            async with service:
+                hot = [_request(seed, tenant="hot") for seed in range(5)]
+                cold = [_request(seed, S5, tenant="cold") for seed in range(2)]
+                return await asyncio.gather(
+                    *(service.submit(r) for r in hot + cold),
+                    return_exceptions=True,
+                )
+
+        outcomes = asyncio.run(run())
+        # Submission order within one tick: hot takes its two quota slots,
+        # sheds the rest; cold's quota is untouched by hot's overflow.
+        assert [isinstance(o, RejectedError) for o in outcomes] == [
+            False, False, True, True, True, False, False
+        ]
+        stats = service.stats()
+        assert stats["tenants"]["hot"]["admitted"] == 2
+        assert stats["tenants"]["hot"]["rejected"] == 3
+        assert stats["tenants"]["cold"]["admitted"] == 2
+        assert stats["tenants"]["cold"]["rejected"] == 0
+
+    def test_tenant_rejection_names_the_tenant(self):
+        service = DiagnosisService(max_queue_per_tenant=1, batch_delay=0.05)
+
+        async def run():
+            async with service:
+                first = asyncio.create_task(
+                    service.submit(_request(0, tenant="acme"))
+                )
+                await asyncio.sleep(0)
+                with pytest.raises(RejectedError) as excinfo:
+                    await service.submit(_request(1, tenant="acme"))
+                await first
+                return excinfo.value
+
+        error = asyncio.run(run())
+        assert error.scope == "tenant"
+        assert error.tenant == "acme"
+        assert error.depth == 1 and error.limit == 1
+        assert "acme" in str(error) and "max_queue_per_tenant" in str(error)
+
+    def test_global_bound_checked_before_tenant_quota(self):
+        service = DiagnosisService(
+            max_queue_depth=1, max_queue_per_tenant=5, batch_delay=0.05
+        )
+
+        async def run():
+            async with service:
+                first = asyncio.create_task(
+                    service.submit(_request(0, tenant="a"))
+                )
+                await asyncio.sleep(0)
+                with pytest.raises(RejectedError) as excinfo:
+                    await service.submit(_request(1, tenant="b"))
+                await first
+                return excinfo.value
+
+        error = asyncio.run(run())
+        assert error.scope == "global"
+        assert error.tenant is None
+
+    def test_store_hits_never_consume_tenant_quota(self):
+        store = ResultStore()
+
+        async def run():
+            async with DiagnosisService(store=store) as warm:
+                await warm.submit(_request(0, tenant="hot"))
+            service = DiagnosisService(
+                store=store, max_queue_per_tenant=1, batch_delay=0.05
+            )
+            async with service:
+                filler = asyncio.create_task(
+                    service.submit(_request(1, tenant="hot"))
+                )
+                await asyncio.sleep(0)  # filler takes hot's only slot
+                stored = await service.submit(_request(0, tenant="hot"))
+                await filler
+            return stored, service.stats()
+
+        stored, stats = asyncio.run(run())
+        assert stored.source == "store"
+        assert stats["tenants"]["hot"]["rejected"] == 0
+        assert stats["tenants"]["hot"]["store_hits"] == 1
+
+    def test_coalesced_joins_never_consume_tenant_quota(self):
+        service = DiagnosisService(max_queue_per_tenant=1, batch_delay=0.05)
+
+        async def run():
+            async with service:
+                filler = asyncio.create_task(
+                    service.submit(_request(1, tenant="hot"))
+                )
+                await asyncio.sleep(0)  # filler takes hot's only slot
+                # The identical request joins in flight: no slot consumed,
+                # even across a tenant boundary.
+                same_tenant = asyncio.create_task(
+                    service.submit(_request(1, tenant="hot"))
+                )
+                cross_tenant = asyncio.create_task(
+                    service.submit(_request(1, tenant="other"))
+                )
+                await asyncio.sleep(0)
+                # A *distinct* hot request is over quota and sheds.
+                with pytest.raises(RejectedError):
+                    await service.submit(_request(2, tenant="hot"))
+                return await filler, await same_tenant, await cross_tenant
+
+        filler, same_tenant, cross_tenant = asyncio.run(run())
+        assert filler.source == "computed"
+        assert same_tenant.source == "coalesced"
+        assert cross_tenant.source == "coalesced"
+        stats = service.stats()
+        assert stats["tenants"]["hot"]["coalesced"] == 1
+        assert stats["tenants"]["other"]["coalesced"] == 1
+        assert stats["tenants"]["other"]["rejected"] == 0
+
+    def test_stats_expose_tenant_configuration(self):
+        service = DiagnosisService(
+            max_queue_per_tenant=4, tenant_weights={"hot": 3}
+        )
+        responses = _serve(service, _request(0, tenant="hot"))
+        assert responses[0].ok
+        stats = service.stats()
+        assert stats["max_queue_per_tenant"] == 4
+        assert stats["tenant_weights"] == {"hot": 3}
+        assert stats["pending_by_tenant"] == {}  # drained
+        assert stats["tenants"]["hot"]["served"] == 1
+
+    def test_weighted_rotation_orders_backlogged_batches(self):
+        # Two backlogged tenants, weight 2:1, one batch of width 3 per
+        # dispatch: each batch takes two hot slots then one cold slot.
+        service = DiagnosisService(
+            max_batch_size=3, batch_delay=0.05, tenant_weights={"hot": 2}
+        )
+
+        async def run():
+            async with service:
+                requests = []
+                for seed in range(4):
+                    requests.append(_request(seed, tenant="hot"))
+                    requests.append(_request(10 + seed, tenant="cold"))
+                return await asyncio.gather(
+                    *(service.submit(r) for r in requests)
+                )
+
+        responses = asyncio.run(run())
+        assert all(r.ok for r in responses)
+        assert all(r.batch_size <= 3 for r in responses)
+        # 8 requests in width-3 batches: the rotation fills 3 batches.
+        assert service.stats()["batches"] == 3
+
+    def test_invalid_tenant_configuration_rejected(self):
+        with pytest.raises(ValueError, match="max_queue_per_tenant"):
+            DiagnosisService(max_queue_per_tenant=0)
+        with pytest.raises(ValueError, match="weight"):
+            DiagnosisService(tenant_weights={"a": 0})
+
+
 class TestCancellation:
     def test_cancelling_one_client_leaves_the_batch_intact(self):
         service = DiagnosisService(batch_delay=0.05)

@@ -269,3 +269,79 @@ class TestEviction:
             assert mode == "wal"
             timeout = store._conn.execute("PRAGMA busy_timeout").fetchone()[0]
             assert timeout == 5000
+
+
+class TestClockRegression:
+    """A backwards wall-clock step must not mass-expire fresh rows.
+
+    Regression: ``last_used`` stamps come from the wall clock.  If the clock
+    steps forward (row stamped at t=2000), then corrects back (now=1500), a
+    row written moments ago at t=1000 looks 500 s idle and a TTL of 100
+    would sweep it — though in real time it is seconds old.  The sweep is
+    skipped (and counted) whenever the newest stamp is in now's future.
+    """
+
+    def test_backwards_step_skips_the_ttl_sweep(self):
+        clock = FakeClock(start=1_000.0)
+        with ResultStore(ttl_seconds=100, clock=clock) as store:
+            store.put_many([
+                (_request(0), _response("a" * 64)),
+                (_request(1), _response("b" * 64)),
+            ])  # both stamped 1000
+            clock.advance(1_000)  # forward-stepped clock
+            store.get(_request(1))  # hit refreshes b's stamp to 2000
+            clock.now = 1_500.0  # correction: now < newest stamp
+            # Without the clamp the sweep would expire row "a"
+            # (stamp 1000 < 1500 - 100) though it is minutes old in real time.
+            assert store.evict() == 0
+            assert len(store) == 2  # both rows survive
+            assert store.stats()["clock_skew_skips"] == 1
+            assert store.stats()["expired_evictions"] == 0
+
+    def test_sweep_resumes_once_the_clock_catches_up(self):
+        clock = FakeClock(start=1_000.0)
+        with ResultStore(ttl_seconds=100, clock=clock) as store:
+            store.put_many([
+                (_request(0), _response("a" * 64)),
+                (_request(1), _response("b" * 64)),
+            ])
+            clock.advance(1_000)
+            store.get(_request(1))  # b stamped 2000
+            clock.now = 1_500.0
+            store.evict()  # skipped (skew)
+            clock.now = 2_200.0  # past the newest stamp again
+            assert store.evict() == 2  # both now genuinely idle > TTL
+            assert len(store) == 0
+            assert store.stats()["clock_skew_skips"] == 1
+
+    def test_skew_skip_does_not_disable_the_lru_bound(self):
+        clock = FakeClock(start=1_000.0)
+        with ResultStore(ttl_seconds=100, max_rows=2, clock=clock) as store:
+            store.put_many([
+                (_request(0), _response("a" * 64)),
+                (_request(1), _response("b" * 64)),
+            ])
+            clock.advance(2_000)
+            store.get(_request(1))  # b stamped 3000
+            clock.now = 1_500.0  # skewed: TTL sweep disabled...
+            store.put(_request(2), _response("c" * 64))
+            # ...but the order-based row bound still holds and picks the
+            # oldest stamp ("a" at 1000) as the LRU victim.
+            assert len(store) == 2
+            assert store.get_by_digest(
+                "hypercube[dimension=5]", "a" * 64) is None
+            stats = store.stats()
+            assert stats["lru_evictions"] == 1
+            assert stats["clock_skew_skips"] >= 1
+
+    def test_same_batch_stamps_do_not_count_as_skew(self):
+        clock = FakeClock(start=1_000.0)
+        with ResultStore(ttl_seconds=100, clock=clock) as store:
+            store.put_many([
+                (_request(0), _response("a" * 64)),
+                (_request(1), _response("b" * 64)),
+            ])
+            # evict() ran inside put_many with now == the stamps (not <).
+            assert store.stats()["clock_skew_skips"] == 0
+            clock.advance(200)
+            assert store.evict() == 2  # normal forward TTL still works

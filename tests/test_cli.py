@@ -415,3 +415,103 @@ class TestShardedDiagnose:
         with pytest.raises(SystemExit, match="compiled backend"):
             main(["diagnose", "--family", "hypercube", "--shards", "2",
                   "--syndrome", "table"])
+
+
+class TestTenantFlags:
+    def test_tenant_weight_parsing(self):
+        from repro.cli import _parse_tenant_weights
+
+        assert _parse_tenant_weights([]) is None
+        assert _parse_tenant_weights(["hot=3"]) == {"hot": 3}
+        assert _parse_tenant_weights(["hot=3", "cold=1"]) == {
+            "hot": 3, "cold": 1
+        }
+
+    def test_tenant_weight_errors(self):
+        from repro.cli import _parse_tenant_weights
+
+        with pytest.raises(SystemExit, match="NAME=W"):
+            _parse_tenant_weights(["hot"])
+        with pytest.raises(SystemExit, match="positive integer"):
+            _parse_tenant_weights(["hot=0"])
+        with pytest.raises(SystemExit, match="positive integer"):
+            _parse_tenant_weights(["hot=x"])
+        with pytest.raises(SystemExit, match="twice"):
+            _parse_tenant_weights(["hot=1", "hot=2"])
+        with pytest.raises(SystemExit, match="forbidden"):
+            _parse_tenant_weights(["bad tenant=1"])
+
+    def test_serve_validates_tenant_flags(self):
+        with pytest.raises(SystemExit, match="--max-queue-per-tenant"):
+            main(["serve", "--max-queue-per-tenant", "0"])
+        with pytest.raises(SystemExit, match="NAME=W"):
+            main(["serve", "--tenant-weight", "nonsense"])
+
+    def test_serve_demo_accepts_tenant_flags(self, capsys):
+        code = main(["serve", "--demo-requests", "4",
+                     "--max-queue-per-tenant", "8",
+                     "--tenant-weight", "hot=2"])
+        assert code == 0
+        assert "served" in capsys.readouterr().out
+
+    def test_load_tenant_flag_reaches_the_stream(self, capsys, tmp_path):
+        stats = tmp_path / "stats.json"
+        code = main(["load", "--clients", "2", "--requests", "2",
+                     "--instance", "hypercube:dimension=6",
+                     "--tenant", "acme", "--stats-json", str(stats)])
+        assert code == 0
+        import json
+
+        payload = json.loads(stats.read_text())
+        assert payload["batched"]["stats"]["tenants"]["acme"]["admitted"] == 4
+
+    def test_load_rejects_bad_tenant(self):
+        with pytest.raises(SystemExit, match="tenant"):
+            main(["load", "--clients", "1", "--requests", "1",
+                  "--tenant", "no spaces"])
+
+
+class TestFairnessCommand:
+    _BASE = ["load", "--fairness", "--hot-requests", "8",
+             "--cold-tenants", "2", "--cold-requests", "2",
+             "--tenant-quota", "2", "--seed-pool", "64",
+             "--instance", "hypercube:dimension=6"]
+
+    def test_fairness_run_passes_and_prints_split(self, capsys):
+        code = main(list(self._BASE))
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "fairness: hot tenant" in out
+        assert "completion 100%" in out
+        assert "FAIL" not in out
+
+    def test_fairness_stats_json(self, capsys, tmp_path):
+        import json
+
+        stats = tmp_path / "fairness.json"
+        code = main(list(self._BASE) + ["--stats-json", str(stats)])
+        assert code == 0
+        payload = json.loads(stats.read_text())
+        assert payload["fairness"]["cold_completion"] == 1.0
+        assert payload["split"]["hot_served"] + \
+            len(payload["split"]["hot_shed_indices"]) == 8
+        assert payload["stats"]["tenants"]["hot"]["rejected"] == \
+            len(payload["split"]["hot_shed_indices"])
+
+    def test_fairness_conflicts_with_transport_flags(self):
+        with pytest.raises(SystemExit, match="drop --http"):
+            main(list(self._BASE) + ["--http", ":1"])
+        with pytest.raises(SystemExit, match="drop --naive"):
+            main(list(self._BASE) + ["--naive"])
+        with pytest.raises(SystemExit, match="drop --verify"):
+            main(list(self._BASE) + ["--verify"])
+        with pytest.raises(SystemExit, match="drop --tenant"):
+            main(list(self._BASE) + ["--tenant", "x"])
+        with pytest.raises(SystemExit, match="drop --store"):
+            main(list(self._BASE) + ["--store", "x.db"])
+
+    def test_fairness_validates_counts(self):
+        with pytest.raises(SystemExit, match="--hot-requests"):
+            main(["load", "--fairness", "--hot-requests", "0"])
+        with pytest.raises(SystemExit, match="--tenant-quota"):
+            main(["load", "--fairness", "--tenant-quota", "0"])
