@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six sub-commands cover the common workflows:
+Seven sub-commands cover the common workflows:
 
 ``repro-diagnose diagnose``
     Inject a fault set into a chosen network, generate the MM-model syndrome
@@ -32,6 +32,17 @@ Six sub-commands cover the common workflows:
     ``--http PORT`` it becomes the HTTP/JSON frontend instead (``POST
     /diagnose``, ``GET /stats``, ``GET /healthz``), shedding with 429 once
     ``--max-queue`` requests are queued, until SIGINT/SIGTERM drains it.
+    ``--fabric-port N`` additionally accepts remote fabric workers
+    (:mod:`repro.fabric`): live workers execute the service's batches over
+    a framed-socket protocol with lease/retry/requeue recovery, and the
+    local path serves as fallback while none are connected.
+
+``repro-diagnose worker``
+    Run one remote fabric worker: connect to a ``serve --fabric-port``
+    coordinator (``--connect HOST:PORT``), heartbeat, and execute leased
+    batches through the exact in-process batch path (bit-identical
+    results).  ``--loss-rate``/``--duplicate-rate``/``--latency`` inject
+    seeded data-plane faults for chaos testing.
 
 ``repro-diagnose load``
     Seeded closed-loop load generator: ``--clients N`` clients each issue
@@ -202,6 +213,50 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--stats-json", metavar="PATH", default=None,
                        help="write the service stats snapshot to PATH as JSON "
                             "(atomically: temp file + rename)")
+    serve.add_argument("--fabric-port", type=int, default=None, metavar="PORT",
+                       help="with --http: also accept remote fabric workers "
+                            "on PORT (0 picks an ephemeral port); batches "
+                            "dispatch to live workers, falling back to the "
+                            "local path while none are connected")
+    serve.add_argument("--lease-timeout", type=float, default=10.0,
+                       metavar="S",
+                       help="with --fabric-port: seconds an unanswered batch "
+                            "lease waits before retry (default: 10)")
+    serve.add_argument("--heartbeat-interval", type=float, default=1.0,
+                       metavar="S",
+                       help="with --fabric-port: worker heartbeat interval; "
+                            "a worker silent for 3 intervals is declared "
+                            "dead and its leases requeue (default: 1)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a remote fabric worker attached to a 'serve --fabric-port' "
+             "coordinator",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's fabric endpoint")
+    worker.add_argument("--id", default=None, metavar="NAME",
+                        help="stable worker identity across reconnects "
+                             "(default: worker-<pid>)")
+    worker.add_argument("--ready-file", metavar="PATH", default=None,
+                        help="atomically write {\"worker\": ..., \"pid\": ...} "
+                             "to PATH once the coordinator welcomed us")
+    worker.add_argument("--cache-capacity", type=int, default=8,
+                        help="bound of the worker-local compiled-topology LRU")
+    worker.add_argument("--loss-rate", type=float, default=0.0,
+                        help="fault injection: drop each data-plane frame "
+                             "(lease in, result out) with this probability")
+    worker.add_argument("--duplicate-rate", type=float, default=0.0,
+                        help="fault injection: deliver each surviving "
+                             "data-plane frame twice with this probability")
+    worker.add_argument("--latency", default="fixed:1", metavar="SPEC",
+                        help="fault injection: link latency spec "
+                             "('fixed:K' or 'uniform:A:B', rounds; "
+                             "'fixed:1' = no added delay)")
+    worker.add_argument("--delay-unit-ms", type=float, default=10.0,
+                        help="milliseconds per latency round above the first")
+    worker.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the injected fault pattern")
 
     load = sub.add_parser(
         "load",
@@ -512,6 +567,14 @@ def _validate_serve_args(args: argparse.Namespace) -> None:
             raise SystemExit("--http serves network clients; drop --requests")
     elif args.ready_file is not None:
         raise SystemExit("--ready-file only makes sense with --http")
+    elif args.fabric_port is not None:
+        raise SystemExit("--fabric-port only makes sense with --http")
+    if args.fabric_port is not None and not 0 <= args.fabric_port <= 65535:
+        raise SystemExit("--fabric-port must be within 0..65535")
+    if args.lease_timeout <= 0:
+        raise SystemExit("--lease-timeout must be positive")
+    if args.heartbeat_interval <= 0:
+        raise SystemExit("--heartbeat-interval must be positive")
 
 
 def _make_store(args: argparse.Namespace):
@@ -548,15 +611,31 @@ def _serve_http(args: argparse.Namespace) -> int:
             max_queue_per_tenant=args.max_queue_per_tenant,
             tenant_weights=_parse_tenant_weights(args.tenant_weight),
         )
+        coordinator = None
+        if args.fabric_port is not None:
+            from .fabric import FabricCoordinator
+
+            coordinator = FabricCoordinator(
+                host=args.host,
+                port=args.fabric_port,
+                metrics=service.metrics,
+                heartbeat_interval=args.heartbeat_interval,
+                lease_timeout=args.lease_timeout,
+            )
+            await coordinator.start()
+            service.remote = coordinator
+            print(f"fabric workers welcome on {coordinator.address}",
+                  flush=True)
         frontend = HttpFrontend(service, host=args.host, port=args.http)
         await frontend.start()
         print(f"listening on {frontend.address} "
               f"(max queue {args.max_queue or 'unbounded'}, "
               f"store {args.store or 'none'})", flush=True)
         if args.ready_file is not None:
-            _write_json_atomic(
-                args.ready_file, {"host": args.host, "port": frontend.port}
-            )
+            ready = {"host": args.host, "port": frontend.port}
+            if coordinator is not None:
+                ready["fabric_port"] = coordinator.port
+            _write_json_atomic(args.ready_file, ready)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -565,6 +644,8 @@ def _serve_http(args: argparse.Namespace) -> int:
         print("shutting down: draining in-flight requests", flush=True)
         await frontend.close()
         await service.close()
+        if coordinator is not None:
+            await coordinator.close()
         stats = service.stats()
         stats["http"] = frontend.stats()
         return stats
@@ -666,6 +747,73 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.stats_json is not None:
         _write_json_atomic(args.stats_json, stats)
         print(f"stats -> {args.stats_json}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+    import signal
+
+    from .fabric import run_worker
+    from .service.http import parse_http_target
+
+    try:
+        host, port = parse_http_target(args.connect)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.cache_capacity < 0:
+        raise SystemExit("--cache-capacity must be non-negative")
+    if args.delay_unit_ms < 0:
+        raise SystemExit("--delay-unit-ms must be non-negative")
+
+    fault_config = None
+    if args.loss_rate or args.duplicate_rate or args.latency != "fixed:1":
+        from .distributed.events import ChannelConfig
+
+        try:
+            fault_config = ChannelConfig(
+                latency=args.latency,
+                loss_rate=args.loss_rate,
+                duplicate_rate=args.duplicate_rate,
+                seed=args.fault_seed,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+
+    def _on_ready(worker) -> None:
+        print(f"worker {worker.worker_id} joined {host}:{port} "
+              f"(generation {worker.generation})", flush=True)
+        if args.ready_file is not None:
+            _write_json_atomic(
+                args.ready_file,
+                {"worker": worker.worker_id, "pid": os.getpid(),
+                 "generation": worker.generation},
+            )
+
+    async def _run():
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        return await run_worker(
+            host, port,
+            worker_id=args.id,
+            fault_config=fault_config,
+            delay_unit=args.delay_unit_ms / 1e3,
+            topology_cache_capacity=args.cache_capacity,
+            ready=_on_ready,
+            stop=stop,
+        )
+
+    try:
+        worker = asyncio.run(_run())
+    except ConnectionError as exc:
+        raise SystemExit(f"worker: {exc}")
+    print(f"worker {worker.worker_id} done: "
+          f"{worker.leases_received} leases received, "
+          f"{worker.leases_served} served, "
+          f"{worker.leases_dropped} dropped by fault injection")
     return 0
 
 
@@ -927,6 +1075,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_distributed(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "load":
         return _cmd_load(args)
     if args.command == "survey":

@@ -1,0 +1,186 @@
+"""Framing and fault injection of the worker-fabric wire protocol.
+
+The fabric speaks a leaner framed-socket sibling of the HTTP wire protocol:
+every frame is a 4-byte big-endian length prefix followed by one UTF-8 JSON
+object with a ``kind`` field.  The control plane (``hello`` / ``welcome`` /
+``heartbeat`` / ``error``) keeps registration and liveness honest; the data
+plane (``lease`` / ``result``, see
+:func:`repro.service.requests.encode_lease` /
+:func:`~repro.service.requests.encode_result`) moves the actual diagnosis
+batches.
+
+Failure injection reuses the distributed engine's channel models
+(:class:`~repro.distributed.events.ChannelConfig`,
+:class:`~repro.distributed.events.LossModel`,
+:class:`~repro.distributed.events.LatencyModel`): a :class:`FaultPolicy`
+draws seeded per-frame drop/duplicate decisions and a per-link delay, and a
+:class:`FrameChannel` built with one applies them to **data-plane frames
+only** — a hostile link may eat or double a lease or a result, but never a
+heartbeat, so liveness tracking stays truthful while the retry/requeue/dedup
+machinery is exercised for real.  The coordinator's timeout-and-backoff
+retry plus the store's content addressing make every injected fault
+invisible to the caller (the chaos suite pins that).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from ..distributed.events import ChannelConfig, LatencyModel, LossModel
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "DATA_PLANE_KINDS",
+    "FrameError",
+    "FabricUnavailableError",
+    "FaultPolicy",
+    "FrameChannel",
+    "read_frame",
+    "write_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Hard bound on one frame's JSON body.  A lease of ``max_batch_size``
+#: explicit syndromes on the largest bench topology is a few MB; anything
+#: near this bound is a corrupt length prefix, not a real batch.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Frame kinds the fault policy may drop/duplicate/delay.  Everything else
+#: is control plane and always delivered intact.
+DATA_PLANE_KINDS = frozenset({"lease", "result"})
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ConnectionError):
+    """The peer sent bytes that are not a valid fabric frame."""
+
+
+class FabricUnavailableError(RuntimeError):
+    """The fabric cannot execute a batch right now (no live workers, or a
+    lease exhausted its retry budget).  The service treats this as a signal
+    to fall back to local execution, so fabric trouble degrades throughput,
+    never correctness."""
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """One length-prefixed JSON frame, or ``None`` on a clean/abrupt EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return None
+    (size,) = _HEADER.unpack(header)
+    if size > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {size} bytes exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(size)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return None
+    try:
+        frame = json.loads(body)
+    except ValueError as exc:
+        raise FrameError(f"frame body is not JSON: {exc}") from None
+    if not isinstance(frame, dict) or not isinstance(frame.get("kind"), str):
+        raise FrameError("frame must be a JSON object with a string 'kind'")
+    return frame
+
+
+async def write_frame(writer: asyncio.StreamWriter, frame: dict) -> None:
+    """Serialise and send one frame (length prefix + JSON body)."""
+    body = json.dumps(frame, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    writer.write(_HEADER.pack(len(body)) + body)
+    await writer.drain()
+
+
+class FaultPolicy:
+    """Seeded drop/duplicate/delay draws for one end of a fabric link.
+
+    Drop and duplication come from the engine's per-transmission
+    :class:`LossModel` draws (canonical order: the drop draw first, then —
+    only for delivered frames — the duplication draw), so a policy's fault
+    pattern is a deterministic function of its :class:`ChannelConfig`.
+    Delay reuses :class:`LatencyModel`: the coordinator-worker connection is
+    one link, so its latency is sampled **once** from the spec (``"fixed:K"``
+    or ``"uniform:A:B"``, in rounds) and converted to seconds at
+    ``delay_unit`` per round above the first — ``fixed:1``, the default,
+    means no added delay.
+    """
+
+    def __init__(
+        self, config: ChannelConfig, *, delay_unit: float = 0.01
+    ) -> None:
+        if delay_unit < 0:
+            raise ValueError("delay_unit must be non-negative")
+        self.config = config
+        self.delay_unit = delay_unit
+        self._loss = LossModel(config)
+        model = LatencyModel.from_spec(config.latency)
+        rounds = model.sample_links([(0, 1)], config.seed)[(0, 1)]
+        self.delay_seconds = (rounds - 1) * delay_unit
+
+    def copies(self) -> int:
+        """How many times the next data-plane frame is delivered (0/1/2)."""
+        if self._loss.dropped():
+            return 0
+        return 2 if self._loss.duplicated() else 1
+
+    def describe(self) -> str:
+        return (f"{self.config.describe()} "
+                f"delay={self.delay_seconds * 1e3:.0f}ms")
+
+
+class FrameChannel:
+    """One fabric connection: framed send/recv plus optional fault injection.
+
+    ``send`` serialises writers behind a lock (frames from concurrent lease
+    tasks must not interleave); when a :class:`FaultPolicy` is attached,
+    outgoing **data-plane** frames are subject to its drop/duplicate/delay
+    draws — control frames always go out intact, and the delay sleep happens
+    outside the lock so a delayed result never stalls a heartbeat.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        fault_policy: FaultPolicy | None = None,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.faults = fault_policy
+        self._send_lock = asyncio.Lock()
+        #: injected-fault evidence, for tests and worker stats
+        self.dropped_frames = 0
+        self.duplicated_frames = 0
+
+    async def send(self, frame: dict) -> None:
+        copies = 1
+        if self.faults is not None and frame.get("kind") in DATA_PLANE_KINDS:
+            copies = self.faults.copies()
+            if copies == 0:
+                self.dropped_frames += 1
+                return  # eaten by the (simulated) wire
+            if copies > 1:
+                self.duplicated_frames += 1
+            if self.faults.delay_seconds:
+                await asyncio.sleep(self.faults.delay_seconds)
+        async with self._send_lock:
+            for _ in range(copies):
+                await write_frame(self.writer, frame)
+
+    async def recv(self) -> dict | None:
+        return await read_frame(self.reader)
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

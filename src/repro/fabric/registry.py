@@ -1,0 +1,151 @@
+"""The coordinator's worker-liveness state machine.
+
+One :class:`WorkerRegistry` tracks every worker that ever said ``hello``:
+**register** makes (or revives) a worker, each **heartbeat** refreshes its
+lease on life, a **sweep** declares workers dead once they have missed
+``max_missed`` heartbeat intervals, and an EOF on the connection is an
+immediate **mark_dead**.  A dead worker that reconnects *rejoins*: same id,
+``generation`` bumped, so stale state from its previous life is
+distinguishable (the coordinator drops the old link and requeues its
+leases).
+
+The registry is deliberately pure bookkeeping over an injected clock — no
+sockets, no tasks — which is what makes the register → heartbeat → miss →
+dead → rejoin cycle property-testable against a reference model
+(``tests/fabric/test_registry.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WorkerInfo", "WorkerRegistry"]
+
+
+@dataclass
+class WorkerInfo:
+    """One worker's liveness record."""
+
+    worker_id: str
+    generation: int
+    registered_at: float
+    last_heartbeat: float
+    alive: bool = True
+
+    def as_dict(self) -> dict:
+        return {
+            "generation": self.generation,
+            "alive": self.alive,
+            "last_heartbeat": self.last_heartbeat,
+        }
+
+
+class WorkerRegistry:
+    """Register/heartbeat/sweep bookkeeping for the fabric coordinator.
+
+    ``heartbeat_interval`` is what workers are told to beat at;
+    ``max_missed`` is how many intervals of silence the registry tolerates
+    before a sweep declares the worker dead (the deadline is strict:
+    exactly ``max_missed`` intervals of silence is still alive, beyond it
+    is dead).  All timestamps come from the caller's clock, so tests drive
+    the machine with a virtual one.
+    """
+
+    def __init__(
+        self, *, heartbeat_interval: float, max_missed: int = 3
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if max_missed < 1:
+            raise ValueError("max_missed must be at least 1")
+        self.heartbeat_interval = heartbeat_interval
+        self.max_missed = max_missed
+        self.workers: dict[str, WorkerInfo] = {}
+        #: total dead-worker declarations (sweeps + explicit mark_dead)
+        self.evictions = 0
+
+    @property
+    def deadline(self) -> float:
+        """Silence beyond this many seconds means dead."""
+        return self.heartbeat_interval * self.max_missed
+
+    # --------------------------------------------------------------- events
+    def register(self, worker_id: str, now: float) -> WorkerInfo:
+        """A worker said hello: create it, or revive it with a new generation.
+
+        Re-registration always bumps the generation — even for a worker the
+        registry still believed alive (its old connection is stale the
+        moment a new one authenticates as the same id).
+        """
+        info = self.workers.get(worker_id)
+        if info is None:
+            info = WorkerInfo(
+                worker_id=worker_id,
+                generation=1,
+                registered_at=now,
+                last_heartbeat=now,
+            )
+            self.workers[worker_id] = info
+        else:
+            info.generation += 1
+            info.alive = True
+            info.registered_at = now
+            info.last_heartbeat = now
+        return info
+
+    def heartbeat(self, worker_id: str, now: float) -> bool:
+        """Refresh a worker's liveness; ``False`` if unknown or dead.
+
+        A heartbeat from a dead worker does **not** revive it — its leases
+        were already requeued, so it must re-register (new generation) to
+        take work again.
+        """
+        info = self.workers.get(worker_id)
+        if info is None or not info.alive:
+            return False
+        info.last_heartbeat = now
+        return True
+
+    def mark_dead(self, worker_id: str) -> bool:
+        """Immediate death (connection EOF); ``True`` if it was alive."""
+        info = self.workers.get(worker_id)
+        if info is None or not info.alive:
+            return False
+        info.alive = False
+        self.evictions += 1
+        return True
+
+    def sweep(self, now: float) -> list[str]:
+        """Declare every worker silent past the deadline dead; return them."""
+        dead = [
+            worker_id
+            for worker_id, info in self.workers.items()
+            if info.alive and now - info.last_heartbeat > self.deadline
+        ]
+        for worker_id in dead:
+            self.mark_dead(worker_id)
+        return dead
+
+    # -------------------------------------------------------------- queries
+    def live(self) -> list[str]:
+        """Alive worker ids, in first-registration order."""
+        return [w for w, info in self.workers.items() if info.alive]
+
+    def is_live(self, worker_id: str) -> bool:
+        info = self.workers.get(worker_id)
+        return info is not None and info.alive
+
+    def generation(self, worker_id: str) -> int:
+        info = self.workers.get(worker_id)
+        return 0 if info is None else info.generation
+
+    def stats(self) -> dict:
+        return {
+            "known": len(self.workers),
+            "live": len(self.live()),
+            "evictions": self.evictions,
+            "workers": {
+                worker_id: info.as_dict()
+                for worker_id, info in sorted(self.workers.items())
+            },
+        }

@@ -1,0 +1,231 @@
+"""The remote diagnosis worker: connect, heartbeat, execute leases.
+
+:class:`FabricWorker` is the process that actually runs batches on another
+machine.  It dials the coordinator, introduces itself (``hello`` →
+``welcome``, which carries the heartbeat interval it must keep), then
+serves ``lease`` frames until the connection ends: each lease's topology is
+resolved locally (through a small bounded LRU — remote workers pay their
+own compile once per topology, *outside* the measured batch) and the batch
+runs through exactly :func:`~repro.service.executor.run_batch_local`, the
+same code path as in-process serving — which is the whole bit-identity
+argument: the fabric moves work, it never changes it.
+
+Batches execute on the default thread executor so the event loop keeps
+heartbeating mid-batch; a slow batch must never look like a dead worker.
+
+A worker built with a :class:`~repro.distributed.events.ChannelConfig`
+simulates a hostile link: incoming leases are subject to drop/duplicate
+draws (a dropped lease is simply never executed — the coordinator's lease
+timeout covers it; a duplicated lease executes twice and the coordinator
+dedups the second completion) and outgoing results pass through the same
+:class:`~repro.fabric.protocol.FaultPolicy` on the channel (drop, double
+or delay).  Control frames are never faulted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from ..distributed.events import ChannelConfig
+from ..service.cache import LRUCache
+from ..service.executor import resolve_topology, run_batch_local
+from ..service.requests import decode_lease, encode_result
+from .protocol import PROTOCOL_VERSION, FaultPolicy, FrameChannel
+
+__all__ = ["FabricWorker", "run_worker"]
+
+
+class FabricWorker:
+    """One remote worker process's client-side state machine.
+
+    Parameters
+    ----------
+    host / port:
+        The coordinator's fabric endpoint.
+    worker_id:
+        Stable identity across reconnects (rejoin bumps the registry
+        generation).  Defaults to ``worker-<pid>``.
+    fault_config:
+        Optional :class:`ChannelConfig` activating data-plane fault
+        injection (drop / duplicate / delay) on this worker's link.
+    delay_unit:
+        Seconds per latency round above the first (see
+        :class:`~repro.fabric.protocol.FaultPolicy`).
+    topology_cache_capacity:
+        Bound of the worker-local compiled-topology LRU.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        worker_id: str | None = None,
+        fault_config: ChannelConfig | None = None,
+        delay_unit: float = 0.01,
+        topology_cache_capacity: int = 8,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id or f"worker-{os.getpid()}"
+        self.faults = (
+            FaultPolicy(fault_config, delay_unit=delay_unit)
+            if fault_config is not None else None
+        )
+        self._topologies: LRUCache[str, tuple] = LRUCache(
+            topology_cache_capacity
+        )
+        self.heartbeat_interval: float | None = None
+        self.generation: int | None = None
+        self.leases_received = 0
+        self.leases_served = 0
+        self.leases_dropped = 0
+
+    async def run(self, *, ready=None) -> None:
+        """Serve one connection until the coordinator goes away.
+
+        ``ready(worker)`` fires once the ``welcome`` handshake completed —
+        the in-process equivalent of the CLI's ready-file.  Raises
+        :class:`ConnectionError` if the handshake fails; returns normally
+        on EOF (coordinator closed).
+        """
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        channel = FrameChannel(reader, writer, fault_policy=self.faults)
+        await channel.send({
+            "kind": "hello",
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "protocol": PROTOCOL_VERSION,
+        })
+        welcome = await channel.recv()
+        if welcome is None or welcome.get("kind") != "welcome":
+            await channel.close()
+            raise ConnectionError(
+                f"coordinator at {self.host}:{self.port} refused the handshake"
+            )
+        self.heartbeat_interval = float(welcome["heartbeat_interval"])
+        self.generation = int(welcome.get("generation", 0))
+        heartbeat = asyncio.create_task(self._heartbeat_loop(channel))
+        lease_tasks: set[asyncio.Task] = set()
+        try:
+            if ready is not None:
+                ready(self)
+            while True:
+                frame = await channel.recv()
+                if frame is None:
+                    return  # coordinator closed the connection
+                if frame.get("kind") != "lease":
+                    continue
+                self.leases_received += 1
+                copies = 1 if self.faults is None else self.faults.copies()
+                if copies == 0:
+                    # The (simulated) wire ate the lease; the coordinator's
+                    # timeout-and-retry owns recovery.
+                    self.leases_dropped += 1
+                    continue
+                for _ in range(copies):
+                    task = asyncio.create_task(
+                        self._serve_lease(channel, frame)
+                    )
+                    lease_tasks.add(task)
+                    task.add_done_callback(lease_tasks.discard)
+        finally:
+            heartbeat.cancel()
+            for task in list(lease_tasks):
+                task.cancel()
+            await channel.close()
+
+    async def _heartbeat_loop(self, channel: FrameChannel) -> None:
+        frame = {"kind": "heartbeat", "worker": self.worker_id}
+        try:
+            while True:
+                await asyncio.sleep(self.heartbeat_interval)
+                await channel.send(frame)
+        except (ConnectionError, OSError):
+            return  # the main recv loop sees the same EOF and unwinds
+
+    async def _serve_lease(self, channel: FrameChannel, frame: dict) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            lease_id, requests = decode_lease(frame)
+        except ValueError:
+            return  # corrupt lease: nothing useful to answer
+        try:
+            first = requests[0]
+            entry = self._topologies.get(first.topology_key)
+            if entry is None:
+                entry = await loop.run_in_executor(
+                    None, resolve_topology, first.family, first.network_kwargs
+                )
+                self._topologies.put(first.topology_key, entry)
+            network, csr = entry
+            responses, stats = await loop.run_in_executor(
+                None, run_batch_local, network, csr, requests
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            try:
+                await channel.send({
+                    "kind": "error",
+                    "lease": lease_id,
+                    "worker": self.worker_id,
+                    "message": f"{type(exc).__name__}: {exc}",
+                })
+            except (ConnectionError, OSError):
+                pass
+            return
+        self.leases_served += 1
+        try:
+            await channel.send(encode_result(lease_id, responses, stats))
+        except (ConnectionError, OSError):
+            pass  # connection died mid-send; the coordinator requeues
+
+
+async def run_worker(
+    host: str,
+    port: int,
+    *,
+    worker_id: str | None = None,
+    fault_config: ChannelConfig | None = None,
+    delay_unit: float = 0.01,
+    topology_cache_capacity: int = 8,
+    ready=None,
+    stop: asyncio.Event | None = None,
+) -> FabricWorker:
+    """Run one worker until the coordinator disconnects or ``stop`` is set.
+
+    The CLI's ``worker`` subcommand wraps this; tests drive it directly.
+    Returns the worker so callers can read its served/dropped counters.
+    """
+    worker = FabricWorker(
+        host, port,
+        worker_id=worker_id,
+        fault_config=fault_config,
+        delay_unit=delay_unit,
+        topology_cache_capacity=topology_cache_capacity,
+    )
+    serving = asyncio.create_task(worker.run(ready=ready))
+    if stop is None:
+        await serving
+        return worker
+    stopper = asyncio.create_task(stop.wait())
+    try:
+        done, pending = await asyncio.wait(
+            {serving, stopper}, return_when=asyncio.FIRST_COMPLETED
+        )
+    except asyncio.CancelledError:
+        # Cancelling run_worker must kill the connection too — asyncio.wait
+        # leaves its awaitables running, which would turn a "killed" worker
+        # into a zombie that keeps serving leases.
+        serving.cancel()
+        stopper.cancel()
+        await asyncio.gather(serving, stopper, return_exceptions=True)
+        raise
+    for task in pending:
+        task.cancel()
+    await asyncio.gather(*pending, return_exceptions=True)
+    if serving in done:
+        serving.result()  # surface connection errors
+    return worker

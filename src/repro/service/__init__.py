@@ -53,6 +53,10 @@ _EXPORTS = {
     "topology_key": "requests",
     "syndrome_digest": "requests",
     "validate_tenant": "requests",
+    "encode_lease": "requests",
+    "decode_lease": "requests",
+    "encode_result": "requests",
+    "decode_result": "requests",
     "TenantQueues": "fairqueue",
     "MetricsParseError": "prometheus",
     "parse_metrics_text": "prometheus",
@@ -61,6 +65,8 @@ _EXPORTS = {
     "ResultStore": "store",
     "Histogram": "metrics",
     "ServiceMetrics": "metrics",
+    "TENANT_COUNTERS": "metrics",
+    "WORKER_COUNTERS": "metrics",
     "DiagnosisService": "service",
     "RejectedError": "service",
     "BackgroundHttpServer": "http",

@@ -73,6 +73,18 @@ def _tenant_table(tenants: dict) -> str:
             f"{''.join(rows)}</table>")
 
 
+def _worker_table(workers: dict) -> str:
+    columns = ("dispatched", "completed", "retried", "requeued", "evictions")
+    head = "".join(f"<th>{_escape(name)}</th>" for name in columns)
+    rows = []
+    for worker, row in sorted(workers.items()):
+        cells = "".join(f"<td>{_escape(row.get(name, 0))}</td>"
+                        for name in columns)
+        rows.append(f"<tr><td class=name>{_escape(worker)}</td>{cells}</tr>")
+    return (f"<table><tr><th class=name>worker</th>{head}</tr>"
+            f"{''.join(rows)}</table>")
+
+
 def render_dashboard(
     stats: dict, *, title: str = "repro diagnosis service",
     refresh_seconds: int = 5,
@@ -111,9 +123,29 @@ def render_dashboard(
     sections.append(_histogram_table("queue depth",
                                      service.get("queue_depth", {})))
 
-    for key, heading in (("cache", "topology cache"), ("store", "result store"),
-                         ("http", "http frontend")):
-        block = stats.get(key) or service.get(key)
+    workers = service.get("workers") or {}
+    fabric = service.get("fabric") or stats.get("fabric") or {}
+    if workers or fabric:
+        sections.append("<h2>fabric workers</h2>")
+        if workers:
+            sections.append(_worker_table(workers))
+        if fabric:
+            sections.append(_counter_rows(
+                (name, value) for name, value in sorted(fabric.items())
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            ))
+
+    # The service snapshot files the topology cache under "topology_cache";
+    # "cache" is accepted too for hand-built stats dicts.
+    for keys, heading in ((("topology_cache", "cache"), "topology cache"),
+                          (("store",), "result store"),
+                          (("http",), "http frontend")):
+        block = None
+        for key in keys:
+            block = stats.get(key) or service.get(key)
+            if block:
+                break
         if isinstance(block, dict) and block:
             sections.append(f"<h2>{_escape(heading)}</h2>")
             sections.append(_counter_rows(

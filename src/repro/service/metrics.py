@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["Histogram", "ServiceMetrics", "TENANT_COUNTERS"]
+__all__ = ["Histogram", "ServiceMetrics", "TENANT_COUNTERS", "WORKER_COUNTERS"]
 
 
 class Histogram:
@@ -115,6 +115,16 @@ TENANT_COUNTERS = (
     "admitted", "rejected", "computed", "store_hits", "coalesced", "errors",
 )
 
+#: Counter names of one fabric worker's accounting row (see
+#: :meth:`ServiceMetrics.worker`): ``dispatched`` leases sent to it,
+#: ``completed`` leases it answered first, ``retried`` lease timeouts while
+#: it held the lease, ``requeued`` leases taken back because it died (or
+#: reported a terminal error), and ``evictions`` — how many times it was
+#: declared dead (EOF or missed heartbeats).
+WORKER_COUNTERS = (
+    "dispatched", "completed", "retried", "requeued", "evictions",
+)
+
 
 class ServiceMetrics:
     """All counters and histograms of one :class:`DiagnosisService`.
@@ -139,6 +149,10 @@ class ServiceMetrics:
         #: per-tenant counter rows, keyed by tenant name (insertion order =
         #: first-seen order; the snapshot sorts for stable output)
         self.tenants: dict[str, dict[str, int]] = {}
+        #: per-fabric-worker counter rows, keyed by worker id — populated by
+        #: the :class:`~repro.fabric.coordinator.FabricCoordinator` sharing
+        #: this metrics object; empty for services without a fabric
+        self.workers: dict[str, dict[str, int]] = {}
         #: end-to-end seconds from submit to response, per request
         self.latency = Histogram()
         #: seconds a batch's requests waited before dispatch
@@ -155,6 +169,13 @@ class ServiceMetrics:
         row = self.tenants.get(tenant)
         if row is None:
             row = self.tenants[tenant] = dict.fromkeys(TENANT_COUNTERS, 0)
+        return row
+
+    def worker(self, worker_id: str) -> dict[str, int]:
+        """The counter row of one fabric worker (created zeroed on first touch)."""
+        row = self.workers.get(worker_id)
+        if row is None:
+            row = self.workers[worker_id] = dict.fromkeys(WORKER_COUNTERS, 0)
         return row
 
     def record_enqueue(self, depth: int, *, tenant: str = "default") -> None:
@@ -237,5 +258,9 @@ class ServiceMetrics:
                 tenant: {**row, "served": row["computed"] + row["store_hits"]
                          + row["coalesced"]}
                 for tenant, row in sorted(self.tenants.items())
+            },
+            "workers": {
+                worker: dict(row)
+                for worker, row in sorted(self.workers.items())
             },
         }

@@ -121,12 +121,15 @@ def render_metrics(
     cache_stats: dict | None = None,
     store_stats: dict | None = None,
     http_stats: dict | None = None,
+    fabric_stats: dict | None = None,
 ) -> str:
     """The ``GET /metrics`` body for one service's telemetry.
 
-    ``cache_stats``/``store_stats``/``http_stats`` take the same dicts the
-    ``/stats`` snapshot embeds (topology-cache counters, result-store
-    counters, HTTP frontend counters); absent sections are simply omitted.
+    ``cache_stats``/``store_stats``/``http_stats``/``fabric_stats`` take the
+    same dicts the ``/stats`` snapshot embeds (topology-cache counters,
+    result-store counters, HTTP frontend counters, fabric coordinator
+    gauges); absent sections are simply omitted.  Per-fabric-worker counters
+    render whenever ``metrics.workers`` has rows.
     """
     out = _Writer()
 
@@ -187,6 +190,27 @@ def render_metrics(
     for tenant, row in tenants:
         out.sample("tenant_errors", row["errors"], {"tenant": tenant},
                    suffix="_total")
+
+    # ---------------------------------------------- per-fabric-worker counters
+    if metrics.workers:
+        workers = sorted(metrics.workers.items())
+        for counter, help_text in (
+            ("dispatched", "Batch leases dispatched to each fabric worker."),
+            ("completed",
+             "Leases each fabric worker answered first (duplicates dropped)."),
+            ("retried",
+             "Lease timeouts while each fabric worker held the lease."),
+            ("requeued",
+             "Leases requeued off each fabric worker (death or terminal "
+             "error)."),
+            ("evictions",
+             "Times each fabric worker was declared dead (EOF or missed "
+             "heartbeats)."),
+        ):
+            out.family(f"worker_{counter}", "counter", help_text)
+            for worker, row in workers:
+                out.sample(f"worker_{counter}", row[counter],
+                           {"worker": worker}, suffix="_total")
 
     # ------------------------------------------------------------ histograms
     out.histogram("request_latency_seconds", metrics.latency,
@@ -249,6 +273,29 @@ def render_metrics(
                    "HTTP requests answered with a 4xx other than 429.")
         out.sample("http_client_errors", http_stats["client_errors"],
                    suffix="_total")
+
+    if fabric_stats is not None:
+        out.family("fabric_workers_live", "gauge",
+                   "Fabric workers currently registered, alive and "
+                   "connected.")
+        out.sample("fabric_workers_live", fabric_stats["workers_live"])
+        out.family("fabric_workers_known", "gauge",
+                   "Fabric workers ever registered (alive or dead).")
+        out.sample("fabric_workers_known", fabric_stats["workers_known"])
+        out.family("fabric_outstanding_leases", "gauge",
+                   "Batch leases dispatched to the fabric and not yet "
+                   "resolved.")
+        out.sample("fabric_outstanding_leases",
+                   fabric_stats["outstanding_leases"])
+        out.family("fabric_duplicate_completions", "counter",
+                   "Result frames dropped because their lease was already "
+                   "answered (duplicate-delivery / late-retry dedup).")
+        out.sample("fabric_duplicate_completions",
+                   fabric_stats["duplicate_completions"], suffix="_total")
+        out.family("fabric_protocol_errors", "counter",
+                   "Malformed or unexpected fabric frames received.")
+        out.sample("fabric_protocol_errors",
+                   fabric_stats["protocol_errors"], suffix="_total")
 
     return out.render()
 

@@ -37,6 +37,10 @@ __all__ = [
     "request_key",
     "syndrome_digest",
     "validate_tenant",
+    "encode_lease",
+    "decode_lease",
+    "encode_result",
+    "decode_result",
 ]
 
 #: The tenant a request belongs to when nothing names one — wire bodies,
@@ -326,3 +330,83 @@ class DiagnosisResponse:
         record = dict(record)
         record["faulty"] = tuple(record["faulty"])
         return cls(**record)
+
+
+# --------------------------------------------------------------- fabric frames
+# The worker fabric's data-plane frames reuse the wire codecs above: a *lease*
+# ships one coalesced batch to a remote worker, a *result* brings the batch's
+# responses (plus the executing process's compile/pair-build evidence) back.
+# Lease ids are coordinator-assigned and stable across retries, so a late or
+# duplicated result still names the lease it answers and the coordinator can
+# dedup completions; the payloads themselves are exactly the HTTP wire form,
+# which is what keeps fabric responses bit-identical to direct serving.
+
+def encode_lease(lease_id: int, requests: "list[DiagnosisRequest]") -> dict:
+    """The ``lease`` frame body dispatching one batch to a worker."""
+    return {
+        "kind": "lease",
+        "lease": int(lease_id),
+        "requests": [request.to_wire() for request in requests],
+    }
+
+
+def decode_lease(frame: dict) -> tuple[int, "list[DiagnosisRequest]"]:
+    """Parse (and validate) a ``lease`` frame; ``(lease_id, requests)``."""
+    if frame.get("kind") != "lease":
+        raise ValueError(f"not a lease frame: kind={frame.get('kind')!r}")
+    lease_id = frame.get("lease")
+    if not isinstance(lease_id, int) or isinstance(lease_id, bool):
+        raise ValueError(f"lease id must be an integer, got {lease_id!r}")
+    bodies = frame.get("requests")
+    if not isinstance(bodies, list) or not bodies:
+        raise ValueError("lease frame needs a non-empty 'requests' list")
+    requests = []
+    for position, body in enumerate(bodies):
+        try:
+            requests.append(DiagnosisRequest.from_dict(body))
+        except ValueError as exc:
+            raise ValueError(f"lease requests[{position}]: {exc}") from None
+    return lease_id, requests
+
+
+#: Batch-execution statistics a result frame must carry (the serving layer's
+#: zero-recompilation evidence travels the fabric too).
+_RESULT_STATS = ("compiles", "pair_builds", "kernel_width")
+
+
+def encode_result(
+    lease_id: int, responses: "list[DiagnosisResponse]", stats: dict
+) -> dict:
+    """The ``result`` frame body answering one lease."""
+    return {
+        "kind": "result",
+        "lease": int(lease_id),
+        "responses": [response.to_wire() for response in responses],
+        "stats": {name: int(stats[name]) for name in _RESULT_STATS},
+    }
+
+
+def decode_result(frame: dict) -> tuple[int, "list[DiagnosisResponse]", dict]:
+    """Parse a ``result`` frame; ``(lease_id, responses, stats)``."""
+    if frame.get("kind") != "result":
+        raise ValueError(f"not a result frame: kind={frame.get('kind')!r}")
+    lease_id = frame.get("lease")
+    if not isinstance(lease_id, int) or isinstance(lease_id, bool):
+        raise ValueError(f"lease id must be an integer, got {lease_id!r}")
+    bodies = frame.get("responses")
+    if not isinstance(bodies, list):
+        raise ValueError("result frame needs a 'responses' list")
+    responses = []
+    for position, body in enumerate(bodies):
+        try:
+            responses.append(DiagnosisResponse.from_wire(body))
+        except (TypeError, ValueError, KeyError) as exc:
+            raise ValueError(f"result responses[{position}]: {exc}") from None
+    raw_stats = frame.get("stats")
+    if not isinstance(raw_stats, dict):
+        raise ValueError("result frame needs a 'stats' object")
+    try:
+        stats = {name: int(raw_stats[name]) for name in _RESULT_STATS}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"result stats: {exc!r}") from None
+    return lease_id, responses, stats

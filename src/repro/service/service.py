@@ -102,6 +102,16 @@ class DiagnosisService:
         then execute as single pool tasks over shared-memory topologies.
         ``None`` executes batches in-process (on the default thread executor,
         so the event loop keeps accepting requests mid-batch).
+    remote:
+        Optional :class:`~repro.fabric.coordinator.FabricCoordinator` (or
+        anything with its ``has_workers()``/``execute()`` face).  The
+        dispatch policy then prefers the fabric whenever it has live
+        workers, falling back to the pool / in-process path when it does
+        not — or when it raises
+        :class:`~repro.fabric.protocol.FabricUnavailableError` mid-batch
+        (all workers died, retry budget exhausted), so fabric trouble
+        degrades throughput, never loses a request.  Like the pool, the
+        coordinator stays caller-owned: :meth:`close` does not close it.
     coalesce:
         The serving discipline.  ``True`` (default) enables in-flight
         duplicate sharing and the batching window; ``False`` serves every
@@ -147,6 +157,7 @@ class DiagnosisService:
         self,
         *,
         pool=None,
+        remote=None,
         coalesce: bool = True,
         max_batch_size: int = 64,
         batch_delay: float = 0.002,
@@ -168,6 +179,7 @@ class DiagnosisService:
                 "max_queue_per_tenant must be at least 1 (or None)"
             )
         self.pool = pool
+        self.remote = remote
         self.coalesce = coalesce
         self.max_batch_size = max_batch_size
         self.batch_delay = batch_delay
@@ -179,6 +191,11 @@ class DiagnosisService:
         TenantQueues(weights=self.tenant_weights)
         self.store = store
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        # A coordinator built without explicit metrics adopts the service's,
+        # so per-worker counters land in the same stats()/Prometheus snapshot.
+        if remote is not None and getattr(remote, "owns_metrics", False):
+            remote.metrics = self.metrics
+            remote.owns_metrics = False
         self._topologies: LRUCache[str, tuple] = LRUCache(
             topology_cache_capacity, on_evict=self._on_topology_evicted
         )
@@ -443,7 +460,26 @@ class DiagnosisService:
         loop = asyncio.get_running_loop()
         requests = [pending.request for pending in batch]
         try:
-            if self.pool is not None:
+            executed = False
+            if self.remote is not None and self.remote.has_workers():
+                # Dispatch policy: prefer the fabric while it has live
+                # workers.  The coordinator owns retries, requeues and
+                # dedup; if it still cannot complete the lease the batch
+                # falls through to the local/pooled path below — the fabric
+                # never turns its own trouble into failed requests.
+                from ..fabric.protocol import FabricUnavailableError
+
+                dispatch_time = loop.time()
+                try:
+                    responses, stats = await self.remote.execute(
+                        topology, requests
+                    )
+                    executed = True
+                except FabricUnavailableError:
+                    pass
+            if executed:
+                pass
+            elif self.pool is not None:
                 network, csr = await self._resolved_topology(topology, requests[0])
                 dispatch_time = loop.time()
                 handle = self.pool.publish_topology(csr, include_pair_members=True)
@@ -539,6 +575,8 @@ class DiagnosisService:
         body["pooled"] = self.pool is not None
         body["topology_cache"] = self._topologies.stats().as_dict()
         body["store"] = self.store.stats() if self.store is not None else None
+        if self.remote is not None:
+            body["fabric"] = self.remote.stats()
         return body
 
     def prometheus_text(self, *, http_stats: dict | None = None) -> str:
@@ -556,6 +594,9 @@ class DiagnosisService:
             cache_stats=self._topologies.stats().as_dict(),
             store_stats=self.store.stats() if self.store is not None else None,
             http_stats=http_stats,
+            fabric_stats=(
+                self.remote.stats() if self.remote is not None else None
+            ),
         )
 
     async def serve_sequence(

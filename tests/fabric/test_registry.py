@@ -1,0 +1,193 @@
+"""WorkerRegistry: the register → heartbeat → miss → dead → rejoin machine.
+
+The property suite drives random event sequences (register, heartbeat,
+clock advance, connection death, sweep) through :class:`WorkerRegistry` and
+a dict-based reference model in lockstep, in the style of the fair-queue
+suite: liveness, generations and eviction counts must agree after every
+event, and the liveness laws the coordinator builds on are pinned directly:
+
+* silence is only fatal *beyond* ``max_missed`` heartbeat intervals —
+  exactly at the deadline is still alive;
+* a heartbeat never revives a dead worker (its leases were already
+  requeued; it must re-register);
+* re-registration always bumps the generation, alive or dead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fabric import WorkerRegistry
+
+
+class TestBasics:
+    def test_register_and_live(self):
+        registry = WorkerRegistry(heartbeat_interval=1.0)
+        info = registry.register("w1", now=0.0)
+        assert info.generation == 1
+        assert registry.live() == ["w1"]
+        assert registry.is_live("w1")
+        assert registry.generation("w1") == 1
+        assert registry.generation("unknown") == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            WorkerRegistry(heartbeat_interval=0.0)
+        with pytest.raises(ValueError):
+            WorkerRegistry(heartbeat_interval=1.0, max_missed=0)
+
+    def test_exactly_deadline_silence_is_still_alive(self):
+        registry = WorkerRegistry(heartbeat_interval=1.0, max_missed=3)
+        registry.register("w1", now=0.0)
+        assert registry.sweep(now=3.0) == []  # == deadline: alive
+        assert registry.sweep(now=3.0001) == ["w1"]
+        assert not registry.is_live("w1")
+        assert registry.evictions == 1
+
+    def test_heartbeat_extends_the_lease(self):
+        registry = WorkerRegistry(heartbeat_interval=1.0, max_missed=3)
+        registry.register("w1", now=0.0)
+        assert registry.heartbeat("w1", now=2.5)
+        assert registry.sweep(now=5.0) == []
+        assert registry.sweep(now=6.0) == ["w1"]
+
+    def test_heartbeat_from_unknown_or_dead_is_refused(self):
+        registry = WorkerRegistry(heartbeat_interval=1.0)
+        assert not registry.heartbeat("ghost", now=0.0)
+        registry.register("w1", now=0.0)
+        registry.mark_dead("w1")
+        assert not registry.heartbeat("w1", now=0.1)
+        assert not registry.is_live("w1")
+
+    def test_mark_dead_is_idempotent(self):
+        registry = WorkerRegistry(heartbeat_interval=1.0)
+        registry.register("w1", now=0.0)
+        assert registry.mark_dead("w1")
+        assert not registry.mark_dead("w1")
+        assert not registry.mark_dead("ghost")
+        assert registry.evictions == 1
+
+    def test_rejoin_bumps_generation_and_revives(self):
+        registry = WorkerRegistry(heartbeat_interval=1.0)
+        registry.register("w1", now=0.0)
+        registry.mark_dead("w1")
+        info = registry.register("w1", now=5.0)
+        assert info.generation == 2
+        assert registry.is_live("w1")
+        # A dead spell does not carry over: silence counts from the rejoin.
+        assert registry.sweep(now=7.0) == []
+
+    def test_reregistration_of_a_live_worker_bumps_generation(self):
+        registry = WorkerRegistry(heartbeat_interval=1.0)
+        registry.register("w1", now=0.0)
+        info = registry.register("w1", now=1.0)
+        assert info.generation == 2
+        assert registry.live() == ["w1"]
+
+    def test_live_order_is_first_registration(self):
+        registry = WorkerRegistry(heartbeat_interval=1.0)
+        for name in ("b", "a", "c"):
+            registry.register(name, now=0.0)
+        registry.mark_dead("a")
+        assert registry.live() == ["b", "c"]
+        registry.register("a", now=1.0)  # rejoin keeps the original slot
+        assert registry.live() == ["b", "a", "c"]
+
+    def test_stats_shape(self):
+        registry = WorkerRegistry(heartbeat_interval=0.5, max_missed=2)
+        registry.register("w1", now=0.0)
+        registry.register("w2", now=0.0)
+        registry.mark_dead("w2")
+        stats = registry.stats()
+        assert stats["known"] == 2
+        assert stats["live"] == 1
+        assert stats["evictions"] == 1
+        assert sorted(stats["workers"]) == ["w1", "w2"]
+        assert stats["workers"]["w1"] == {
+            "generation": 1, "alive": True, "last_heartbeat": 0.0,
+        }
+        assert stats["workers"]["w2"]["alive"] is False
+
+
+class ReferenceRegistry:
+    """Independent liveness model: plain dicts, recomputed from scratch."""
+
+    def __init__(self, deadline: float) -> None:
+        self.deadline = deadline
+        self.last_seen: dict[str, float] = {}
+        self.alive: dict[str, bool] = {}
+        self.generation: dict[str, int] = {}
+        self.order: list[str] = []
+        self.evictions = 0
+
+    def register(self, worker, now):
+        if worker not in self.order:
+            self.order.append(worker)
+        self.generation[worker] = self.generation.get(worker, 0) + 1
+        self.alive[worker] = True
+        self.last_seen[worker] = now
+
+    def heartbeat(self, worker, now):
+        if not self.alive.get(worker, False):
+            return False
+        self.last_seen[worker] = now
+        return True
+
+    def mark_dead(self, worker):
+        if not self.alive.get(worker, False):
+            return False
+        self.alive[worker] = False
+        self.evictions += 1
+        return True
+
+    def sweep(self, now):
+        dead = [
+            worker for worker in self.order
+            if self.alive[worker] and now - self.last_seen[worker] > self.deadline
+        ]
+        for worker in dead:
+            self.mark_dead(worker)
+        return dead
+
+    def live(self):
+        return [w for w in self.order if self.alive[w]]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_event_sequences_match_reference(seed):
+    rng = np.random.default_rng(seed)
+    interval = float(rng.uniform(0.5, 2.0))
+    max_missed = int(rng.integers(1, 5))
+    real = WorkerRegistry(heartbeat_interval=interval, max_missed=max_missed)
+    model = ReferenceRegistry(deadline=interval * max_missed)
+    workers = [f"w{i}" for i in range(int(rng.integers(1, 6)))]
+    clock = 0.0
+    for _ in range(500):
+        event = rng.random()
+        if event < 0.25:
+            worker = workers[int(rng.integers(len(workers)))]
+            info = real.register(worker, clock)
+            model.register(worker, clock)
+            assert info.generation == model.generation[worker]
+        elif event < 0.55:
+            worker = workers[int(rng.integers(len(workers)))]
+            assert (real.heartbeat(worker, clock)
+                    == model.heartbeat(worker, clock))
+        elif event < 0.70:
+            worker = workers[int(rng.integers(len(workers)))]
+            assert real.mark_dead(worker) == model.mark_dead(worker)
+        elif event < 0.85:
+            # Advance the virtual clock — sometimes past the deadline.
+            clock += float(rng.uniform(0.0, interval * (max_missed + 1)))
+        else:
+            assert real.sweep(clock) == model.sweep(clock)
+        # Invariants after every event.
+        assert real.live() == model.live()
+        assert real.evictions == model.evictions
+        for worker in workers:
+            assert real.is_live(worker) == model.alive.get(worker, False)
+            assert real.generation(worker) == model.generation.get(worker, 0)
+    stats = real.stats()
+    assert stats["live"] == len(model.live())
+    assert stats["evictions"] == model.evictions

@@ -11,7 +11,6 @@ from __future__ import annotations
 import gc
 import os
 import signal
-import time
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -160,8 +159,14 @@ class TestPoolLifecycle:
         buffer_handle = pool.publish_buffer(b"\x00" * 128)
         victims = [report["pid"] for report in pool.health()]
         assert victims
+        victim = next(
+            process for process in pool.executor._processes.values()
+            if process.pid == victims[0]
+        )
         os.kill(victims[0], signal.SIGKILL)
-        time.sleep(0.1)
+        # Deadline-bounded handshake on the actual death, not a fixed nap.
+        victim.join(timeout=30)
+        assert not victim.is_alive()
         pool.shutdown()
         assert not _segment_exists(handle.name)
         assert not _segment_exists(buffer_handle.name)

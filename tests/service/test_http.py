@@ -275,7 +275,12 @@ class TestLifecycle:
             client = HttpClient(frontend.host, frontend.port)
             await client.connect()
             post = asyncio.create_task(client.diagnose(_request(0)))
-            await asyncio.sleep(0.01)  # the request is in the open window
+            # Handshake, not a nap: close only once the request is really
+            # pending inside the service's open batch window.
+            deadline = asyncio.get_running_loop().time() + 10
+            while service._pending_total == 0:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.001)
             await frontend.close()
             status, response = await post
             await client.close()
