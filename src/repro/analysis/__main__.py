@@ -1,0 +1,192 @@
+"""CLI for the codebase-aware linter: ``python -m repro.analysis``.
+
+Also reachable as ``repro-diagnose lint``.  Exit codes: 0 clean, 1
+unbaselined findings (or stale baseline entries under --strict-baseline),
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import apply_baseline, load_baseline, save_baseline
+from .linting import AnalysisReport, run_analysis
+from .rules import default_rules, rule_table
+
+__all__ = ["main"]
+
+DEFAULT_BASELINE = ".repro-analysis-baseline.json"
+JSON_SCHEMA_VERSION = 1
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Codebase-aware static analysis: determinism, asyncio hazards, "
+            "shm lifecycle, and the rest of this repo's hard-won invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src and tests, "
+        "whichever exist in the current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline ledger path (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; every finding gates",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current active findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail (exit 1) when the baseline holds stale entries",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print pragma-suppressed and baselined findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _default_paths() -> list[str]:
+    present = [name for name in ("src", "tests") if Path(name).is_dir()]
+    return present
+
+
+def _print_rules(as_json: bool, out) -> None:
+    table = rule_table()
+    if as_json:
+        json.dump({"schema": JSON_SCHEMA_VERSION, "rules": table}, out, indent=2)
+        out.write("\n")
+        return
+    for row in table:
+        scope = ", ".join(row["scope"])
+        out.write(f"{row['id']}  {row['name']}  [scope: {scope}]\n")
+        out.write(f"        {row['rationale']}\n")
+
+
+def _human_report(report: AnalysisReport, args, out) -> None:
+    shown = list(report.active)
+    if args.show_suppressed:
+        shown = list(report.findings)
+    for finding in shown:
+        status = ""
+        if finding.suppressed:
+            status = f" [suppressed: {finding.suppress_reason}]"
+        elif finding.baselined:
+            status = " [baselined]"
+        out.write(
+            f"{finding.location()}: {finding.rule} ({finding.name}) "
+            f"{finding.message}{status}\n"
+        )
+        if finding.snippet:
+            out.write(f"    {finding.snippet}\n")
+    for entry in report.stale_baseline:
+        out.write(
+            f"{entry['path']}: stale baseline entry {entry['fingerprint']} "
+            f"({entry['rule']}) no longer fires; delete it\n"
+        )
+    counts = report.counts()
+    out.write(
+        f"{counts['files']} files, {counts['findings']} findings "
+        f"({counts['active']} active, {counts['suppressed']} suppressed, "
+        f"{counts['baselined']} baselined, "
+        f"{counts['stale_baseline']} stale baseline)\n"
+    )
+
+
+def _json_report(report: AnalysisReport, paths: list[str], out) -> None:
+    document = {
+        "schema": JSON_SCHEMA_VERSION,
+        "paths": paths,
+        "rules": rule_table(),
+        "counts": report.counts(),
+        "findings": [finding.as_dict() for finding in report.findings],
+        "stale_baseline": report.stale_baseline,
+    }
+    json.dump(document, out, indent=2)
+    out.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    out = sys.stdout
+
+    if args.list_rules:
+        _print_rules(args.format == "json", out)
+        return 0
+
+    paths = args.paths or _default_paths()
+    if not paths:
+        print(
+            "error: no paths given and neither src/ nor tests/ exists here",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        report = run_analysis(paths, default_rules())
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        apply_baseline(report, {})
+        entries = save_baseline(baseline_path, report.active)
+        print(
+            f"wrote {len(entries)} entries to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    entries: dict[str, dict] = {}
+    if not args.no_baseline:
+        try:
+            entries = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    apply_baseline(report, entries)
+
+    if args.format == "json":
+        _json_report(report, [str(p) for p in paths], out)
+    else:
+        _human_report(report, args, out)
+
+    failed = bool(report.active)
+    if args.strict_baseline and report.stale_baseline:
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

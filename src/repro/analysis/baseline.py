@@ -1,0 +1,124 @@
+"""Baseline ledger for accepted findings.
+
+A baseline lets the linter land with teeth on day one even if the tree
+still has debt: every finding recorded in the checked-in ledger passes,
+every *new* finding fails.  Entries are keyed by a fingerprint that is
+stable under line drift — sha256 of ``rule | path | normalized source
+line | occurrence index`` — so unrelated edits above a baselined site do
+not invalidate it, while editing the flagged line itself does (and should:
+touched code must meet the rule).
+
+The ledger only shrinks: entries whose finding no longer fires are
+reported as *stale* so they get deleted, and ``--write-baseline`` always
+rewrites the file from scratch.  This repo ships an **empty** baseline —
+intentional violations carry an inline pragma with the argument next to
+the code — but the mechanism exists so downstream forks can adopt the
+linter without a flag-day fix sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .linting import AnalysisReport, Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "fingerprint_report",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def _normalized(snippet: str) -> str:
+    return " ".join(snippet.split())
+
+
+def fingerprint_report(report: AnalysisReport) -> None:
+    """Assign a line-drift-stable fingerprint to every finding in place.
+
+    Identical (rule, path, normalized line) triples are disambiguated by
+    occurrence index in file order, so two textually identical violations
+    in one file baseline independently.
+    """
+    seen: dict[tuple[str, str, str], int] = {}
+    for finding in report.findings:
+        key = (finding.rule, finding.path, _normalized(finding.snippet))
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        raw = "|".join((finding.rule, finding.path, _normalized(finding.snippet), str(index)))
+        finding.fingerprint = hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> dict[str, dict]:
+    """``fingerprint -> entry`` from the ledger; ``{}`` when absent.
+
+    Raises ``ValueError`` on a structurally invalid file — a corrupt
+    baseline silently accepting nothing (or everything) would defeat the
+    gate.
+    """
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"baseline {path} lacks an 'entries' table")
+    entries = data["entries"]
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline {path} 'entries' must be an object")
+    for fingerprint, entry in entries.items():
+        if not isinstance(entry, dict) or "rule" not in entry:
+            raise ValueError(
+                f"baseline {path} entry {fingerprint!r} is malformed"
+            )
+    return dict(entries)
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> dict[str, dict]:
+    """Write the ledger covering ``findings`` (the run's active set)."""
+    entries = {
+        finding.fingerprint: {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in findings
+    }
+    document = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Accepted pre-existing findings for repro.analysis. Entries are "
+            "keyed by a line-drift-stable fingerprint; delete entries as the "
+            "debt is paid (stale ones are reported). Prefer inline "
+            "'# repro: allow[...]' pragmas for intentional sites."
+        ),
+        "entries": dict(sorted(entries.items())),
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return entries
+
+
+def apply_baseline(report: AnalysisReport, entries: dict[str, dict]) -> None:
+    """Mark baselined findings and record stale ledger entries in place."""
+    fingerprint_report(report)
+    live: set[str] = set()
+    for finding in report.findings:
+        if finding.suppressed:
+            continue
+        if finding.fingerprint in entries:
+            finding.baselined = True
+            live.add(finding.fingerprint)
+    report.stale_baseline = [
+        {"fingerprint": fingerprint, **entry}
+        for fingerprint, entry in sorted(entries.items())
+        if fingerprint not in live
+    ]

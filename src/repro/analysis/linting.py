@@ -1,0 +1,456 @@
+"""Codebase-aware static analysis: the framework under ``repro.analysis``.
+
+Every hardening sweep so far has fixed the *same classes* of bug by hand —
+the zombie worker (``asyncio.wait`` leaving its awaitables running), the
+shared-memory segment leaked on cache replacement, the non-atomic stats
+write torn by a crash, the bare ``time.sleep`` flaking a test on a loaded
+CI box.  The paper's whole premise is mechanical self-diagnosis of a
+system's faulty units; this module turns that premise on the codebase
+itself.  Each invariant the repo has learned the hard way is encoded as an
+AST-visitor rule with a stable id (``RPR001``…) so the fabric / service /
+parallel layers can keep growing without silently re-introducing a known
+failure mode.
+
+The framework (this module) owns everything that is not rule logic:
+
+* **file discovery** — walk the requested paths, parse every ``.py`` once,
+  classify each file by its dotted module (``repro.service.http``,
+  ``tests.fabric.test_chaos``) so rules can scope themselves to the layers
+  their invariant is about;
+* **pragmas** — ``# repro: allow[RPR009] reason`` suppresses a finding at
+  its line (or, written on a line of its own, at the next code line).  A
+  pragma *must* carry a reason and name real rule ids: a malformed pragma
+  is itself a finding (``RPR000``), so suppressions cannot rot silently;
+* **baseline** — a checked-in ledger of accepted findings (see
+  :mod:`.baseline`); new findings fail, baselined ones do not, and stale
+  entries (no longer firing) are reported so the ledger only shrinks;
+* **reporting** — human ``path:line:col`` lines or a JSON document with a
+  stable schema, plus meaningful exit codes (0 clean, 1 findings, 2 usage).
+
+Rules live in :mod:`.rules`; the CLI in :mod:`.__main__` (also reachable as
+``repro-diagnose lint``).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ProjectRule",
+    "SourceFile",
+    "AnalysisReport",
+    "collect_files",
+    "load_source",
+    "run_analysis",
+    "TOOL_RULE_ID",
+]
+
+#: Findings produced by the framework itself (syntax errors, malformed
+#: pragmas) rather than by any rule.  Not suppressible — a broken pragma
+#: must never be able to suppress the report of its own brokenness.
+TOOL_RULE_ID = "RPR000"
+
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+_RULE_ID = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    name: str
+    path: str  #: posix-style path as given on the command line
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    suppressed: bool = False  #: a pragma acknowledged this finding
+    suppress_reason: str = ""
+    baselined: bool = False  #: the checked-in baseline accepts this finding
+    fingerprint: str = ""  #: line-drift-stable identity (see .baseline)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "suppressed": self.suppressed,
+            "suppress_reason": self.suppress_reason,
+            "baselined": self.baselined,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class _Pragma:
+    line: int  #: the line the pragma suppresses findings on
+    rules: dict[str, str]  #: rule id -> reason
+    used: set[str] = field(default_factory=set)
+
+
+class SourceFile:
+    """One parsed Python file plus everything rules need to inspect it."""
+
+    def __init__(self, path: Path, display_path: str, text: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.text = text
+        self.lines = text.splitlines()
+        self.module = _module_name(path)
+        self.tree: ast.Module | None = None
+        self.parse_error: SyntaxError | None = None
+        try:
+            self.tree = ast.parse(text)
+        except SyntaxError as exc:
+            self.parse_error = exc
+        #: line -> comment text (from tokenize; empty on tokenize failure)
+        self.comments: dict[int, str] = {}
+        #: pragma suppression table, keyed by the line it applies to
+        self.pragmas: dict[int, _Pragma] = {}
+        #: framework findings raised while reading this file (bad pragmas…)
+        self.tool_findings: list[Finding] = []
+        self._scan_comments()
+        self._parents: dict[int, ast.AST] | None = None
+
+    # ------------------------------------------------------------ navigation
+    @property
+    def parents(self) -> dict[int, ast.AST]:
+        """``id(node) -> parent`` for every node in the tree (lazy)."""
+        if self._parents is None:
+            table: dict[int, ast.AST] = {}
+            if self.tree is not None:
+                for parent in ast.walk(self.tree):
+                    for child in ast.iter_child_nodes(parent):
+                        table[id(child)] = parent
+            self._parents = table
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(id(node))
+        while current is not None:
+            yield current
+            current = self.parents.get(id(current))
+
+    def enclosing_function(self, node: ast.AST):
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def has_comment_between(self, first: int, last: int) -> bool:
+        return any(first <= line <= last for line in self.comments)
+
+    # --------------------------------------------------------------- pragmas
+    def _scan_comments(self) -> None:
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            line = token.start[0]
+            self.comments[line] = token.string
+            match = _PRAGMA.search(token.string)
+            if match is None:
+                continue
+            target = self._pragma_target(line, token)
+            ids = [part.strip() for part in match.group("ids").split(",")]
+            reason = match.group("reason").strip()
+            bad = [part for part in ids if not _RULE_ID.match(part)]
+            if bad or not ids or not reason:
+                detail = (
+                    f"rule ids {bad} are not of the form RPRnnn" if bad
+                    else "a pragma must carry a non-empty reason"
+                )
+                self.tool_findings.append(Finding(
+                    rule=TOOL_RULE_ID,
+                    name="malformed-pragma",
+                    path=self.display_path,
+                    line=line,
+                    col=token.start[1],
+                    message=(
+                        f"malformed suppression pragma ({detail}); expected "
+                        f"'# repro: allow[RPRnnn] reason'"
+                    ),
+                    snippet=self.line_at(line).strip(),
+                ))
+                continue
+            pragma = self.pragmas.setdefault(target, _Pragma(target, {}))
+            for rule_id in ids:
+                pragma.rules[rule_id] = reason
+
+    def _pragma_target(self, line: int, token) -> int:
+        """The code line a pragma applies to: its own, or — when it stands
+        alone on a line — the next non-blank, non-comment line below."""
+        before = self.line_at(line)[: token.start[1]]
+        if before.strip():
+            return line
+        for candidate in range(line + 1, len(self.lines) + 1):
+            text = self.line_at(candidate).strip()
+            if text and not text.startswith("#"):
+                return candidate
+        return line
+
+    def suppression_for(self, finding: Finding) -> _Pragma | None:
+        pragma = self.pragmas.get(finding.line)
+        if pragma is not None and finding.rule in pragma.rules:
+            return pragma
+        return None
+
+
+class Rule:
+    """One per-file checker.  Subclasses set the class attributes and
+    implement :meth:`check`, yielding ``(node_or_line, message)`` pairs."""
+
+    rule_id: str = ""
+    name: str = ""
+    rationale: str = ""  #: one line tying the rule to the bug it encodes
+    #: dotted-module prefixes the rule applies to; ``None`` means every file
+    scope: tuple[str, ...] | None = None
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if self.scope is None:
+            return True
+        module = source.module
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.scope
+        )
+
+    def check(self, source: SourceFile) -> Iterable[tuple[ast.AST | int, str]]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- plumbing
+    def findings(self, source: SourceFile) -> Iterator[Finding]:
+        if source.tree is None:
+            return
+        for where, message in self.check(source):
+            if isinstance(where, int):
+                line, col = where, 0
+            else:
+                line, col = where.lineno, where.col_offset
+            yield Finding(
+                rule=self.rule_id,
+                name=self.name,
+                path=source.display_path,
+                line=line,
+                col=col,
+                message=message,
+                snippet=source.line_at(line).strip(),
+            )
+
+
+class ProjectRule(Rule):
+    """A checker that needs the whole analyzed file set at once (e.g. the
+    wire-codec symmetry rule pairs ``encode_*``/``decode_*`` across modules
+    and checks tests exercise them)."""
+
+    def project_check(
+        self, files: Sequence[SourceFile]
+    ) -> Iterable[tuple[SourceFile, ast.AST | int, str]]:
+        raise NotImplementedError
+
+    def check(self, source: SourceFile):  # pragma: no cover - not used
+        return ()
+
+    def project_findings(self, files: Sequence[SourceFile]) -> Iterator[Finding]:
+        for source, where, message in self.project_check(files):
+            if isinstance(where, int):
+                line, col = where, 0
+            else:
+                line, col = where.lineno, where.col_offset
+            yield Finding(
+                rule=self.rule_id,
+                name=self.name,
+                path=source.display_path,
+                line=line,
+                col=col,
+                message=message,
+                snippet=source.line_at(line).strip(),
+            )
+
+
+# --------------------------------------------------------------------- report
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    files: list[SourceFile]
+    findings: list[Finding]  #: every finding, including suppressed ones
+    unused_pragmas: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings that actually gate: not suppressed, not baselined."""
+        return [
+            finding for finding in self.findings
+            if not finding.suppressed and not finding.baselined
+        ]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    def counts(self) -> dict:
+        return {
+            "files": len(self.files),
+            "findings": len(self.findings),
+            "active": len(self.active),
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "stale_baseline": len(self.stale_baseline),
+        }
+
+
+# ------------------------------------------------------------------ discovery
+def _module_name(path: Path) -> str:
+    """Dotted module for scoping: ``.../src/repro/core/x.py`` ->
+    ``repro.core.x``; ``.../tests/fabric/t.py`` -> ``tests.fabric.t``.
+
+    Falls back to the bare stem when neither a ``src`` nor ``tests``
+    ancestor anchors the path (fixture files in a temp dir, say)."""
+    parts = list(path.parts)
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    parts[-1] = stem
+    for anchor in ("src", "tests"):
+        if anchor in parts[:-1]:
+            index = len(parts) - 2 - parts[:-1][::-1].index(anchor)
+            tail = parts[index + 1:] if anchor == "src" else parts[index:]
+            if tail:
+                if tail[-1] == "__init__":
+                    tail = tail[:-1]
+                return ".".join(tail) if tail else stem
+    return stem
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
+    """``(absolute path, display path)`` for every ``.py`` under ``paths``.
+
+    Directories are walked recursively (skipping ``__pycache__`` and hidden
+    directories); explicit file arguments are taken as-is.  Raises
+    ``FileNotFoundError`` for a path that does not exist — a typo'd path
+    silently linting nothing would be worse than an error.
+    """
+    collected: list[tuple[Path, str]] = []
+    for raw in paths:
+        base = Path(raw)
+        if not base.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if base.is_file():
+            collected.append((base.resolve(), str(base)))
+            continue
+        for found in sorted(base.rglob("*.py")):
+            relative = found.relative_to(base)
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in relative.parts
+            ):
+                continue
+            collected.append((found.resolve(), str(Path(raw) / relative)))
+    return collected
+
+
+def load_source(path: Path, display_path: str | None = None) -> SourceFile:
+    text = path.read_text(encoding="utf-8")
+    return SourceFile(path, display_path or str(path), text)
+
+
+# ------------------------------------------------------------------- analysis
+def run_analysis(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule],
+) -> AnalysisReport:
+    """Parse every file under ``paths`` and run every rule over it.
+
+    Pragma suppression is applied here (per file, per line); baseline
+    matching is the caller's concern (see :mod:`.baseline`) because the
+    baseline file's location is a CLI decision, not an analysis one.
+    """
+    files: list[SourceFile] = []
+    findings: list[Finding] = []
+    for path, display in collect_files(paths):
+        source = load_source(path, display)
+        files.append(source)
+        if source.parse_error is not None:
+            error = source.parse_error
+            findings.append(Finding(
+                rule=TOOL_RULE_ID,
+                name="syntax-error",
+                path=display,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                message=f"file does not parse: {error.msg}",
+            ))
+            continue
+        findings.extend(source.tool_findings)
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            if rule.applies_to(source):
+                findings.extend(rule.findings(source))
+    by_display = {source.display_path: source for source in files}
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.project_findings(files))
+    # Pragmas: mark suppressed findings, then report pragmas that suppressed
+    # nothing (an unused pragma is a stale suppression — it must go).
+    unused: list[Finding] = []
+    for finding in findings:
+        source = by_display.get(finding.path)
+        if source is None or finding.rule == TOOL_RULE_ID:
+            continue
+        pragma = source.suppression_for(finding)
+        if pragma is not None:
+            finding.suppressed = True
+            finding.suppress_reason = pragma.rules[finding.rule]
+            pragma.used.add(finding.rule)
+    for source in files:
+        for pragma in source.pragmas.values():
+            for rule_id, reason in sorted(pragma.rules.items()):
+                if rule_id not in pragma.used:
+                    unused.append(Finding(
+                        rule=TOOL_RULE_ID,
+                        name="unused-pragma",
+                        path=source.display_path,
+                        line=pragma.line,
+                        col=0,
+                        message=(
+                            f"pragma allows {rule_id} but no {rule_id} "
+                            f"finding fires here; remove the stale pragma"
+                        ),
+                        snippet=source.line_at(pragma.line).strip(),
+                    ))
+    findings.extend(unused)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return AnalysisReport(
+        files=files, findings=findings, unused_pragmas=unused
+    )

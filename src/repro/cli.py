@@ -326,6 +326,14 @@ def build_parser() -> argparse.ArgumentParser:
     props.add_argument("--param", action="append", default=[], metavar="NAME=VALUE")
     props.add_argument("--exact-connectivity", action="store_true",
                        help="compute the exact vertex connectivity (slow on large instances)")
+
+    # "lint" is dispatched in main() before this parser runs (its argv is
+    # forwarded verbatim to repro.analysis, whose own parser owns the
+    # flags); registered here only so it shows in --help.
+    sub.add_parser(
+        "lint",
+        help="run the codebase-aware static analyzer (python -m repro.analysis)",
+    )
     return parser
 
 
@@ -437,8 +445,7 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
           f"{gossip.messages} messages "
           f"({gossip.messages / max(outcome.messages, 1):.1f}x the engine)")
     if args.trace is not None:
-        with open(args.trace, "w") as fh:
-            fh.write(outcome.trace.to_text())
+        _write_text_atomic(args.trace, outcome.trace.to_text())
         print(f"trace            : {len(outcome.trace)} events -> {args.trace}")
     return 0 if not false_positives else 1
 
@@ -451,6 +458,14 @@ def _write_json_atomic(path: str, payload) -> None:
     never truncated JSON.
     """
     import json
+
+    _write_text_atomic(path, json.dumps(payload, indent=2))
+
+
+def _write_text_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename,
+    fsyncing both the file and its directory, so downstream readers (trace
+    differs, CI smokes) never observe a torn artifact."""
     import os
     import tempfile
 
@@ -458,7 +473,7 @@ def _write_json_atomic(path: str, payload) -> None:
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as fh:
-            json.dump(payload, fh, indent=2)
+            fh.write(text)
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_path, path)
@@ -1067,6 +1082,13 @@ def _cmd_properties(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point (returns a process exit code)."""
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw and raw[0] == "lint":
+        # Forwarded verbatim: the analyzer's parser owns every lint flag,
+        # so `repro-diagnose lint X` == `python -m repro.analysis X`.
+        from repro.analysis.__main__ import main as lint_main
+
+        return lint_main(raw[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "diagnose":

@@ -127,6 +127,9 @@ class FabricCoordinator:
         self._round_robin = 0
         self.duplicate_completions = 0
         self.protocol_errors = 0
+        #: worker id -> most recent terminal error message it reported;
+        #: surfaced via :meth:`stats` so a failing environment names itself
+        self.last_worker_errors: dict[str, str] = {}
         self._server: asyncio.AbstractServer | None = None
         self._sweeper: asyncio.Task | None = None
         self._closed = False
@@ -153,7 +156,7 @@ class FabricCoordinator:
             try:
                 await self._sweeper
             except asyncio.CancelledError:
-                pass
+                pass  # the cancellation above is the expected outcome
             self._sweeper = None
         if self._server is not None:
             self._server.close()
@@ -292,6 +295,13 @@ class FabricCoordinator:
         """
         lease_id = frame.get("lease")
         link.inflight.discard(lease_id)
+        # Record the report even when the lease is already resolved: the
+        # message is the only evidence of *why* a worker's environment is
+        # failing, and dropping it made these faults undiagnosable.
+        self.metrics.worker(link.worker_id)["errors"] += 1
+        message = frame.get("message")
+        if isinstance(message, str) and message:
+            self.last_worker_errors[link.worker_id] = message
         lease = self._leases.get(lease_id)
         if lease is not None and not lease.future.done():
             self.metrics.worker(link.worker_id)["requeued"] += 1
@@ -417,5 +427,6 @@ class FabricCoordinator:
             "outstanding_leases": len(self._leases),
             "duplicate_completions": self.duplicate_completions,
             "protocol_errors": self.protocol_errors,
+            "last_worker_errors": dict(self.last_worker_errors),
             "workers": registry["workers"],
         }

@@ -171,6 +171,9 @@ class FrameChannel:
                 self.duplicated_frames += 1
             if self.faults.delay_seconds:
                 await asyncio.sleep(self.faults.delay_seconds)
+        # repro: allow[RPR009] frame serialization IS the critical section:
+        # the awaited work is the socket write this lock keeps atomic, so
+        # concurrent senders cannot interleave frame bytes on the wire
         async with self._send_lock:
             for _ in range(copies):
                 await write_frame(self.writer, frame)
@@ -183,4 +186,4 @@ class FrameChannel:
             self.writer.close()
             await self.writer.wait_closed()
         except (ConnectionError, OSError):
-            pass
+            pass  # already closing; the peer being gone is success here

@@ -174,7 +174,7 @@ class FabricWorker:
                     "message": f"{type(exc).__name__}: {exc}",
                 })
             except (ConnectionError, OSError):
-                pass
+                pass  # connection died mid-report; the coordinator requeues
             return
         self.leases_served += 1
         try:

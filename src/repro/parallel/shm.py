@@ -276,8 +276,9 @@ def publish_buffer(data) -> tuple[BufferHandle, OwnedSegment]:
 def allocate_buffer(size: int) -> tuple[BufferHandle, OwnedSegment]:
     """Create a zero-filled shared buffer the owner will write incrementally."""
     segment = shared_memory.SharedMemory(create=True, size=max(1, size))
+    owned = OwnedSegment(segment)
     segment.buf[:size] = bytes(size)
-    return BufferHandle(name=segment.name, size=size), OwnedSegment(segment)
+    return BufferHandle(name=segment.name, size=size), owned
 
 
 def attach_buffer(

@@ -266,7 +266,7 @@ class HttpFrontend:
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
-                pass
+                pass  # peer vanished first; the connection is gone either way
 
     async def _serve_one(self, reader, writer, head: bytes) -> bool:
         """Parse and answer one request; returns whether to keep the connection."""
@@ -492,7 +492,7 @@ class HttpClient:
             try:
                 await self._writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
-                pass
+                pass  # server hung up first; closed is what we wanted
             self._reader = self._writer = None
 
     async def __aenter__(self) -> "HttpClient":

@@ -119,10 +119,11 @@ TENANT_COUNTERS = (
 #: :meth:`ServiceMetrics.worker`): ``dispatched`` leases sent to it,
 #: ``completed`` leases it answered first, ``retried`` lease timeouts while
 #: it held the lease, ``requeued`` leases taken back because it died (or
-#: reported a terminal error), and ``evictions`` — how many times it was
-#: declared dead (EOF or missed heartbeats).
+#: reported a terminal error), ``evictions`` — how many times it was
+#: declared dead (EOF or missed heartbeats) — and ``errors``, terminal
+#: error frames it reported against a lease.
 WORKER_COUNTERS = (
-    "dispatched", "completed", "retried", "requeued", "evictions",
+    "dispatched", "completed", "retried", "requeued", "evictions", "errors",
 )
 
 
@@ -146,6 +147,9 @@ class ServiceMetrics:
         self.coalesced_batches = 0  # batches serving >1 request
         self.worker_compiles = 0
         self.worker_pair_builds = 0
+        #: batches the fabric declined (no live workers / all retries spent)
+        #: that fell through to the local or pooled execution path
+        self.fabric_fallbacks = 0
         #: per-tenant counter rows, keyed by tenant name (insertion order =
         #: first-seen order; the snapshot sorts for stable output)
         self.tenants: dict[str, dict[str, int]] = {}
@@ -250,6 +254,7 @@ class ServiceMetrics:
             "mean_batch_size": round(self.batch_size.mean, 3),
             "worker_compiles": self.worker_compiles,
             "worker_pair_builds": self.worker_pair_builds,
+            "fabric_fallbacks": self.fabric_fallbacks,
             "latency_ms": self.latency.summary(scale=1e3),
             "queue_wait_ms": self.queue_wait.summary(scale=1e3),
             "batch_size": self.batch_size.summary(digits=1),

@@ -163,6 +163,10 @@ def render_metrics(
                "Pair-array builds observed inside batch execution.")
     out.sample("worker_pair_builds", metrics.worker_pair_builds,
                suffix="_total")
+    out.family("fabric_fallbacks", "counter",
+               "Batches the fabric declined that fell through to the "
+               "local/pooled execution path.")
+    out.sample("fabric_fallbacks", metrics.fabric_fallbacks, suffix="_total")
 
     # ---------------------------------------------------- per-tenant counters
     tenants = sorted(metrics.tenants.items())
@@ -206,6 +210,9 @@ def render_metrics(
             ("evictions",
              "Times each fabric worker was declared dead (EOF or missed "
              "heartbeats)."),
+            ("errors",
+             "Terminal error frames each fabric worker reported against "
+             "a lease."),
         ):
             out.family(f"worker_{counter}", "counter", help_text)
             for worker, row in workers:

@@ -422,7 +422,7 @@ class DiagnosisService:
                 try:
                     await asyncio.wait_for(full.wait(), timeout=self.batch_delay)
                 except TimeoutError:
-                    pass
+                    pass  # window closed by its timer, not by filling up
                 batch = self._take_batch(topology)
                 self._full[topology] = asyncio.Event()
                 queues = self._pending.get(topology)
@@ -446,6 +446,9 @@ class DiagnosisService:
         batches from resolving the same topology twice.
         """
         lock = self._topology_locks.setdefault(topology, asyncio.Lock())
+        # repro: allow[RPR009] single-flight by design: the awaited work IS
+        # the resolve this lock deduplicates; concurrent batches for the same
+        # topology must wait for it rather than compile twice
         async with lock:
             entry = self._topologies.get(topology)
             if entry is None:
@@ -476,7 +479,11 @@ class DiagnosisService:
                     )
                     executed = True
                 except FabricUnavailableError:
-                    pass
+                    # Fall through to the local/pooled path below — but
+                    # leave evidence: an operator watching a fleet that
+                    # quietly degrades to local execution needs a counter,
+                    # not silence.
+                    self.metrics.fabric_fallbacks += 1
             if executed:
                 pass
             elif self.pool is not None:
@@ -520,6 +527,10 @@ class DiagnosisService:
                         self.pool.release(syndrome_handle)
                     self._flush_retired()
             else:
+                # repro: allow[RPR009] deliberate serialization: without a
+                # pool there is one executor thread's worth of CPU; running
+                # batches concurrently would interleave kernels and wreck
+                # the per-batch operation accounting
                 async with self._local_execution:
                     network, csr = await self._resolved_topology(
                         topology, requests[0]

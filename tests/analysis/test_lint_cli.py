@@ -1,0 +1,215 @@
+"""CLI contract: exit codes, JSON schema, baseline lifecycle — and the
+self-lint gate: the analyzer run over this very repository must be clean.
+
+The self-lint tests are the teeth of the whole subsystem: they are what
+makes re-introducing a known failure mode (the PR 8 zombie-worker shape,
+an unowned shm segment, a torn JSON write) a test failure instead of a
+review comment.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main as lint_main
+from repro.analysis.baseline import load_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / ".repro-analysis-baseline.json"
+
+CLEAN_CODE = """
+    import time
+    def stamp():
+        return time.monotonic()
+"""
+
+DIRTY_CODE = """
+    import time
+    def stamp():
+        return time.time()
+"""
+
+
+def write(tmp_path, relpath, code):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code))
+    return path
+
+
+@pytest.fixture
+def run_cli(tmp_path, capsys, monkeypatch):
+    """Run the analyzer CLI from inside ``tmp_path``; returns (code, out)."""
+    monkeypatch.chdir(tmp_path)
+
+    def run(*argv):
+        code = lint_main(list(argv))
+        return code, capsys.readouterr().out
+
+    return run
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, run_cli):
+        write(tmp_path, "src/repro/core/x.py", CLEAN_CODE)
+        code, out = run_cli("src")
+        assert code == 0
+        assert "0 active" in out
+
+    def test_findings_exit_one(self, tmp_path, run_cli):
+        write(tmp_path, "src/repro/core/x.py", DIRTY_CODE)
+        code, out = run_cli("src", "--no-baseline")
+        assert code == 1
+        assert "RPR001" in out and "wall-clock" in out
+
+    def test_missing_path_exits_two(self, run_cli):
+        code, _ = run_cli("no-such-directory")
+        assert code == 2
+
+    def test_no_paths_and_no_defaults_exits_two(self, run_cli):
+        code, _ = run_cli()
+        assert code == 2
+
+    def test_default_paths_pick_up_src_and_tests(self, tmp_path, run_cli):
+        write(tmp_path, "src/repro/core/x.py", CLEAN_CODE)
+        write(tmp_path, "tests/test_x.py", "def test_ok():\n    assert True\n")
+        code, out = run_cli()
+        assert code == 0
+        assert "2 files" in out
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, run_cli):
+        write(tmp_path, "src/repro/core/x.py", CLEAN_CODE)
+        (tmp_path / ".repro-analysis-baseline.json").write_text("not json")
+        code, _ = run_cli("src")
+        assert code == 2
+
+
+class TestJsonOutput:
+    def test_schema_and_content(self, tmp_path, run_cli):
+        write(tmp_path, "src/repro/core/x.py", DIRTY_CODE)
+        code, out = run_cli("src", "--format", "json", "--no-baseline")
+        assert code == 1
+        payload = json.loads(out)
+        assert set(payload) == {
+            "schema", "paths", "rules", "counts", "findings", "stale_baseline",
+        }
+        assert payload["schema"] == 1
+        assert [rule["id"] for rule in payload["rules"]] == [
+            f"RPR{n:03d}" for n in range(1, 13)
+        ]
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RPR001"
+        assert finding["path"].endswith("x.py")
+        assert finding["fingerprint"]
+
+    def test_list_rules_json(self, run_cli):
+        code, out = run_cli("--list-rules", "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert len(payload["rules"]) == 12
+        assert all(rule["rationale"] for rule in payload["rules"])
+
+
+class TestBaselineLifecycle:
+    def test_write_then_pass_then_stale(self, tmp_path, run_cli):
+        path = write(tmp_path, "src/repro/core/x.py", DIRTY_CODE)
+
+        code, _ = run_cli("src")
+        assert code == 1  # debt, no baseline yet
+
+        code, _ = run_cli("src", "--write-baseline")
+        assert code == 0
+        entries = load_baseline(tmp_path / ".repro-analysis-baseline.json")
+        assert len(entries) == 1
+
+        code, out = run_cli("src")
+        assert code == 0  # baselined debt passes...
+        assert "1 baselined" in out
+
+        write(tmp_path, "src/repro/core/y.py", DIRTY_CODE)
+        code, _ = run_cli("src")
+        assert code == 1  # ...but new findings still gate
+
+        path.write_text(textwrap.dedent(CLEAN_CODE))
+        (tmp_path / "src/repro/core/y.py").unlink()
+        code, out = run_cli("src")
+        assert code == 0
+        assert "stale baseline entry" in out  # paid debt is reported...
+
+        code, _ = run_cli("src", "--strict-baseline")
+        assert code == 1  # ...and gates under strict mode
+
+    def test_baseline_survives_line_drift(self, tmp_path, run_cli):
+        write(tmp_path, "src/repro/core/x.py", DIRTY_CODE)
+        run_cli("src", "--write-baseline")
+        # Unrelated lines added above the finding: fingerprint must hold.
+        write(tmp_path, "src/repro/core/x.py", """
+            import time
+
+            PAD = 1
+            ALSO_PAD = 2
+
+            def stamp():
+                return time.time()
+        """)
+        code, out = run_cli("src", "--strict-baseline")
+        assert code == 0
+        assert "1 baselined" in out
+
+
+class TestSelfLint:
+    """The acceptance gate: this repository lints clean with its own tool."""
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *argv],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    def test_repo_tree_is_clean_including_stale_entries(self):
+        result = self._run("src", "tests", "--strict-baseline")
+        assert result.returncode == 0, (
+            f"self-lint failed:\n{result.stdout}\n{result.stderr}"
+        )
+
+    def test_shipped_baseline_is_empty(self):
+        """Intentional sites carry inline pragmas, so the shipped ledger
+        must hold zero entries — debt never accumulates invisibly here."""
+        entries = load_baseline(BASELINE)
+        assert entries == {}
+
+    def test_reintroducing_the_zombie_worker_pattern_fails_the_gate(
+        self, tmp_path
+    ):
+        """The acceptance criterion, end to end: the PR 8 bug shape, dropped
+        anywhere in the analyzed tree, must flip the lint gate to failing."""
+        bad = tmp_path / "src/repro/fabric/regression.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(textwrap.dedent("""
+            import asyncio
+            async def run_worker(serving, stopper):
+                done, pending = await asyncio.wait(
+                    {serving, stopper}, return_when=asyncio.FIRST_COMPLETED
+                )
+                return done
+        """))
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(bad), "--no-baseline"],
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 1
+        assert "RPR005" in result.stdout

@@ -1,0 +1,186 @@
+"""Framework semantics: pragmas, module scoping, discovery, report shape.
+
+These tests pin the suppression contract — a pragma must carry a reason,
+must name a real rule id, and must actually suppress something — because a
+suppression mechanism that can rot silently would un-enforce every rule.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import TOOL_RULE_ID, collect_files, load_source, run_analysis
+from repro.analysis.rules import UnseededRandomRule, WallClockRule
+
+CLOCK_CODE = """
+    import time
+    def stamp():
+        return time.time()
+"""
+
+
+def write(tmp_path, relpath, code):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code))
+    return path
+
+
+class TestModuleNaming:
+    def test_src_anchor_strips_to_the_package(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/diag.py", "x = 1\n")
+        assert load_source(path).module == "repro.core.diag"
+
+    def test_tests_anchor_keeps_the_tests_prefix(self, tmp_path):
+        path = write(tmp_path, "tests/fabric/test_x.py", "x = 1\n")
+        assert load_source(path).module == "tests.fabric.test_x"
+
+    def test_init_maps_to_the_package_itself(self, tmp_path):
+        path = write(tmp_path, "src/repro/parallel/__init__.py", "x = 1\n")
+        assert load_source(path).module == "repro.parallel"
+
+    def test_unanchored_file_falls_back_to_its_stem(self, tmp_path):
+        path = write(tmp_path, "scratch.py", "x = 1\n")
+        assert load_source(path).module == "scratch"
+
+
+class TestDiscovery:
+    def test_missing_path_raises_instead_of_linting_nothing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_files([tmp_path / "no-such-dir"])
+
+    def test_skips_pycache_and_hidden_directories(self, tmp_path):
+        write(tmp_path, "pkg/good.py", "x = 1\n")
+        write(tmp_path, "pkg/__pycache__/junk.py", "x = 1\n")
+        write(tmp_path, "pkg/.hidden/secret.py", "x = 1\n")
+        found = [display for _, display in collect_files([tmp_path / "pkg"])]
+        assert len(found) == 1 and found[0].endswith("good.py")
+
+    def test_explicit_file_is_taken_as_given(self, tmp_path):
+        path = write(tmp_path, "one.py", "x = 1\n")
+        assert collect_files([path]) == [(path.resolve(), str(path))]
+
+
+class TestPragmas:
+    def test_trailing_pragma_suppresses_its_line(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", """
+            import time
+            def stamp():
+                return time.time()  # repro: allow[RPR001] bench-only module
+        """)
+        report = run_analysis([path], [WallClockRule()])
+        assert report.active == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].suppress_reason == "bench-only module"
+
+    def test_own_line_pragma_applies_to_the_next_code_line(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", """
+            import time
+            def stamp():
+                # repro: allow[RPR001] bench-only module
+                return time.time()
+        """)
+        report = run_analysis([path], [WallClockRule()])
+        assert report.active == []
+        assert len(report.suppressed) == 1
+
+    def test_pragma_without_reason_is_a_tool_finding(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", """
+            import time
+            def stamp():
+                return time.time()  # repro: allow[RPR001]
+        """)
+        report = run_analysis([path], [WallClockRule()])
+        names = {(f.rule, f.name) for f in report.active}
+        # The malformed pragma suppresses nothing: the RPR001 still gates.
+        assert (TOOL_RULE_ID, "malformed-pragma") in names
+        assert ("RPR001", "wall-clock-in-diagnosis") in names
+
+    def test_pragma_with_bogus_rule_id_is_a_tool_finding(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", """
+            import time
+            def stamp():
+                return time.time()  # repro: allow[determinism] legacy
+        """)
+        report = run_analysis([path], [WallClockRule()])
+        assert any(f.name == "malformed-pragma" for f in report.active)
+
+    def test_unused_pragma_is_reported(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", """
+            import time
+            def stamp():
+                return time.monotonic()  # repro: allow[RPR001] stale excuse
+        """)
+        report = run_analysis([path], [WallClockRule()])
+        assert len(report.active) == 1
+        assert report.active[0].name == "unused-pragma"
+        assert "RPR001" in report.active[0].message
+
+    def test_one_pragma_can_cover_multiple_rules(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", """
+            import random
+            import time
+            def jitter():
+                return time.time() + random.random()  # repro: allow[RPR001, RPR002] demo-only jitter
+        """)
+        report = run_analysis(
+            [path], [UnseededRandomRule(), WallClockRule()]
+        )
+        assert report.active == []
+        assert sorted(f.rule for f in report.suppressed) == ["RPR001", "RPR002"]
+
+    def test_unused_half_of_a_shared_pragma_is_reported(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", """
+            import time
+            def stamp():
+                return time.time()  # repro: allow[RPR001, RPR002] shared excuse
+        """)
+        report = run_analysis(
+            [path], [UnseededRandomRule(), WallClockRule()]
+        )
+        # RPR001 fires and is suppressed; RPR002 never fires -> unused half.
+        assert [f.rule for f in report.suppressed] == ["RPR001"]
+        assert [f.name for f in report.active] == ["unused-pragma"]
+        assert "RPR002" in report.active[0].message
+
+    def test_pragmas_cannot_suppress_tool_findings(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", """
+            def stamp():
+                # repro: allow[RPR000] trying to silence the tool
+                return 1
+        """)
+        report = run_analysis([path], [WallClockRule()])
+        assert [f.name for f in report.active] == ["unused-pragma"]
+
+
+class TestReport:
+    def test_syntax_error_is_a_tool_finding_not_a_crash(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", "def broken(:\n")
+        report = run_analysis([path], [WallClockRule()])
+        assert len(report.active) == 1
+        assert report.active[0].name == "syntax-error"
+        assert report.active[0].rule == TOOL_RULE_ID
+
+    def test_findings_are_sorted_and_counted(self, tmp_path):
+        write(tmp_path, "src/repro/core/b.py", CLOCK_CODE)
+        write(tmp_path, "src/repro/core/a.py", CLOCK_CODE)
+        report = run_analysis([tmp_path / "src"], [WallClockRule()])
+        paths = [finding.path for finding in report.findings]
+        assert paths == sorted(paths)
+        counts = report.counts()
+        assert counts["files"] == 2
+        assert counts["findings"] == counts["active"] == 2
+        assert counts["suppressed"] == counts["baselined"] == 0
+
+    def test_finding_dict_has_the_stable_schema(self, tmp_path):
+        path = write(tmp_path, "src/repro/core/x.py", CLOCK_CODE)
+        report = run_analysis([path], [WallClockRule()])
+        payload = report.findings[0].as_dict()
+        assert set(payload) == {
+            "rule", "name", "path", "line", "col", "message", "snippet",
+            "suppressed", "suppress_reason", "baselined", "fingerprint",
+        }
+        assert payload["rule"] == "RPR001"
+        assert payload["snippet"] == "return time.time()"

@@ -1,0 +1,528 @@
+"""Per-rule fixture tests: every RPR rule proven to fire on the bug shape
+it encodes and to stay silent on the idiomatic replacement.
+
+Fixture files are written under ``tmp_path`` at repo-like relative paths
+(``src/repro/core/x.py``, ``tests/test_x.py``) so the dotted-module scoping
+each rule declares is exercised for real, not mocked.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.rules import (
+    ALL_RULES,
+    BareSleepInTestsRule,
+    BlockingCallInAsyncRule,
+    CodecSymmetryRule,
+    DanglingTaskRule,
+    LockAcrossAwaitRule,
+    NonAtomicJsonWriteRule,
+    ShmOwnershipRule,
+    SilentExceptRule,
+    UnawaitedCoroutineRule,
+    UnseededRandomRule,
+    WaitWithoutCancelRule,
+    WallClockRule,
+    default_rules,
+)
+
+
+def lint_one(tmp_path, relpath, code, rule_cls):
+    """Write ``code`` at ``relpath`` and return the rule's active findings."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code))
+    report = run_analysis([path], [rule_cls()])
+    return [
+        finding for finding in report.findings
+        if finding.rule == rule_cls.rule_id and not finding.suppressed
+    ]
+
+
+class TestRegistry:
+    def test_rule_ids_are_unique_stable_and_documented(self):
+        rules = default_rules()
+        ids = [rule.rule_id for rule in rules]
+        assert len(ids) == len(set(ids)) == len(ALL_RULES)
+        assert ids == sorted(ids)
+        for rule in rules:
+            assert rule.rule_id.startswith("RPR") and len(rule.rule_id) == 6
+            assert rule.name, rule.rule_id
+            assert rule.rationale, rule.rule_id
+
+
+class TestWallClock:
+    def test_fires_on_time_time_in_core(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/core/clock.py", """
+            import time
+            def stamp():
+                return time.time()
+        """, WallClockRule)
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+
+    def test_fires_on_datetime_now(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/backend/x.py", """
+            import datetime
+            def stamp():
+                return datetime.datetime.now()
+        """, WallClockRule)
+        assert len(findings) == 1
+
+    def test_silent_on_monotonic_clocks(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/core/clock.py", """
+            import time
+            def stamp():
+                return time.monotonic() + time.perf_counter()
+        """, WallClockRule)
+        assert findings == []
+
+    def test_silent_outside_the_diagnosis_scope(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/clock.py", """
+            import time
+            def stamp():
+                return time.time()
+        """, WallClockRule)
+        assert findings == []
+
+
+class TestUnseededRandom:
+    def test_fires_on_module_level_random(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/core/faults.py", """
+            import random
+            def pick():
+                return random.random() + random.randint(0, 3)
+        """, UnseededRandomRule)
+        assert len(findings) == 2
+
+    def test_fires_on_legacy_numpy_global_state(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/parallel/x.py", """
+            import numpy as np
+            def pick():
+                return np.random.rand(3)
+        """, UnseededRandomRule)
+        assert len(findings) == 1
+
+    def test_silent_on_seeded_generators(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/core/faults.py", """
+            import random
+            import numpy as np
+            def pick(seed):
+                rng = random.Random(seed)
+                gen = np.random.default_rng(seed)
+                return rng.random() + gen.random()
+        """, UnseededRandomRule)
+        assert findings == []
+
+
+class TestUnawaitedCoroutine:
+    def test_fires_on_bare_call_of_local_async_def(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            async def refill():
+                pass
+            async def run():
+                refill()
+        """, UnawaitedCoroutineRule)
+        assert len(findings) == 1
+        assert "refill" in findings[0].message
+
+    def test_fires_on_bare_self_method_call(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            class S:
+                async def refill(self):
+                    pass
+                async def run(self):
+                    self.refill()
+        """, UnawaitedCoroutineRule)
+        assert len(findings) == 1
+
+    def test_silent_when_awaited_or_scheduled(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            import asyncio
+            async def refill():
+                pass
+            async def run(tasks):
+                await refill()
+                tasks.add(asyncio.create_task(refill()))
+        """, UnawaitedCoroutineRule)
+        assert findings == []
+
+
+class TestDanglingTask:
+    def test_fires_on_discarded_create_task(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            import asyncio
+            async def go():
+                pass
+            async def run():
+                asyncio.create_task(go())
+        """, DanglingTaskRule)
+        assert len(findings) == 1
+
+    def test_silent_when_reference_is_retained(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            import asyncio
+            async def go():
+                pass
+            async def run(self):
+                self._task = asyncio.create_task(go())
+                self._tasks.add(asyncio.create_task(go()))
+        """, DanglingTaskRule)
+        assert findings == []
+
+
+class TestWaitWithoutCancel:
+    ZOMBIE = """
+        import asyncio
+        async def run(serving, stopper):
+            done, pending = await asyncio.wait(
+                {serving, stopper}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if serving in done:
+                serving.result()
+    """
+
+    FIXED = """
+        import asyncio
+        async def run(serving, stopper):
+            done, pending = await asyncio.wait(
+                {serving, stopper}, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+            if serving in done:
+                serving.result()
+    """
+
+    def test_fires_on_the_pr8_zombie_worker_pattern(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/fabric/w.py",
+                            self.ZOMBIE, WaitWithoutCancelRule)
+        assert len(findings) == 1
+        assert "zombie" in findings[0].message
+
+    def test_silent_on_the_fixed_worker_idiom(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/fabric/w.py",
+                            self.FIXED, WaitWithoutCancelRule)
+        assert findings == []
+
+    def test_fires_when_the_result_is_discarded(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/fabric/w.py", """
+            import asyncio
+            async def run(tasks):
+                await asyncio.wait(tasks, return_when=asyncio.FIRST_COMPLETED)
+        """, WaitWithoutCancelRule)
+        assert len(findings) == 1
+
+    def test_silent_on_all_completed_without_timeout(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/fabric/w.py", """
+            import asyncio
+            async def run(tasks):
+                await asyncio.wait(tasks)
+        """, WaitWithoutCancelRule)
+        assert findings == []
+
+    def test_fires_on_timeout_wait_without_cancel(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/fabric/w.py", """
+            import asyncio
+            async def run(tasks):
+                done, pending = await asyncio.wait(tasks, timeout=1.0)
+                return done
+        """, WaitWithoutCancelRule)
+        assert len(findings) == 1
+
+
+class TestBlockingCallInAsync:
+    def test_fires_on_time_sleep_and_subprocess(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            import subprocess
+            import time
+            async def run():
+                time.sleep(1)
+                subprocess.run(["true"])
+        """, BlockingCallInAsyncRule)
+        assert len(findings) == 2
+
+    def test_silent_on_asyncio_sleep_and_nested_sync_defs(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            import asyncio
+            import time
+            async def run():
+                await asyncio.sleep(0.1)
+                def blocking_helper():
+                    time.sleep(1)  # runs in an executor, not on the loop
+                return blocking_helper
+        """, BlockingCallInAsyncRule)
+        assert findings == []
+
+
+class TestShmOwnership:
+    def test_fires_on_create_outside_the_owner_module(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            from multiprocessing import shared_memory
+            def make():
+                return shared_memory.SharedMemory(create=True, size=8)
+        """, ShmOwnershipRule)
+        assert len(findings) == 1
+
+    def test_silent_on_attach(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            from multiprocessing import shared_memory
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+        """, ShmOwnershipRule)
+        assert findings == []
+
+    def test_fires_when_code_runs_between_create_and_wrap(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/parallel/shm.py", """
+            from multiprocessing import shared_memory
+            class OwnedSegment:
+                def __init__(self, segment):
+                    self.segment = segment
+            def allocate(size):
+                segment = shared_memory.SharedMemory(create=True, size=size)
+                segment.buf[:size] = bytes(size)
+                return OwnedSegment(segment)
+        """, ShmOwnershipRule)
+        assert len(findings) == 1
+
+    def test_silent_when_wrapped_immediately(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/parallel/shm.py", """
+            from multiprocessing import shared_memory
+            class OwnedSegment:
+                def __init__(self, segment):
+                    self.segment = segment
+            def allocate(size):
+                segment = shared_memory.SharedMemory(create=True, size=size)
+                owned = OwnedSegment(segment)
+                segment.buf[:size] = bytes(size)
+                return owned
+        """, ShmOwnershipRule)
+        assert findings == []
+
+
+class TestNonAtomicJsonWrite:
+    def test_fires_on_bare_open_plus_json_dump(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/cli2.py", """
+            import json
+            def save(path, payload):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+        """, NonAtomicJsonWriteRule)
+        assert len(findings) == 1
+        assert "_write_json_atomic" in findings[0].message
+
+    def test_silent_on_reads_and_non_json_writes(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/cli2.py", """
+            import json
+            def load(path):
+                with open(path) as fh:
+                    return json.load(fh)
+            def note(path):
+                with open(path, "w") as fh:
+                    fh.write("done")
+        """, NonAtomicJsonWriteRule)
+        assert findings == []
+
+    def test_silent_outside_the_repro_tree(self, tmp_path):
+        findings = lint_one(tmp_path, "tests/test_x.py", """
+            import json
+            def save(path, payload):
+                with open(path, "w") as fh:
+                    json.dump(payload, fh)
+        """, NonAtomicJsonWriteRule)
+        assert findings == []
+
+
+class TestLockAcrossAwait:
+    def test_fires_via_lock_factory_tracking(self, tmp_path):
+        # "_gate" has no lock-ish name: only the asyncio.Lock() assignment
+        # identifies it, which is exactly the hole name-matching would leave.
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            import asyncio
+            async def other():
+                pass
+            class S:
+                def __init__(self):
+                    self._gate = asyncio.Lock()
+                async def run(self):
+                    async with self._gate:
+                        await other()
+        """, LockAcrossAwaitRule)
+        assert len(findings) == 1
+
+    def test_fires_via_lockish_name(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            async def other():
+                pass
+            class S:
+                async def run(self):
+                    async with self._send_lock:
+                        await other()
+        """, LockAcrossAwaitRule)
+        assert len(findings) == 1
+
+    def test_silent_when_the_critical_section_is_await_free(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            import asyncio
+            class S:
+                def __init__(self):
+                    self._lock = asyncio.Lock()
+                async def run(self):
+                    async with self._lock:
+                        self.counter += 1
+        """, LockAcrossAwaitRule)
+        assert findings == []
+
+
+class TestSilentExcept:
+    def test_fires_on_uncommented_pass_handler(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            def run():
+                try:
+                    work()
+                except ValueError:
+                    pass
+        """, SilentExceptRule)
+        assert len(findings) == 1
+
+    def test_silent_when_the_swallow_is_explained(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            def run():
+                try:
+                    work()
+                except ValueError:
+                    pass  # the value is advisory; absence is a valid state
+        """, SilentExceptRule)
+        assert findings == []
+
+    def test_silent_outside_service_and_fabric(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/core/x.py", """
+            def run():
+                try:
+                    work()
+                except ValueError:
+                    pass
+        """, SilentExceptRule)
+        assert findings == []
+
+
+class TestBareSleepInTests:
+    def test_fires_on_bare_sleep_synchronization(self, tmp_path):
+        findings = lint_one(tmp_path, "tests/test_x.py", """
+            import time
+            def test_thing(server):
+                server.start()
+                time.sleep(0.2)
+                assert server.ready
+        """, BareSleepInTestsRule)
+        assert len(findings) == 1
+
+    def test_fires_on_unbounded_polling_loop(self, tmp_path):
+        findings = lint_one(tmp_path, "tests/test_x.py", """
+            import time
+            def test_thing(server):
+                while not server.ready:
+                    time.sleep(0.01)
+        """, BareSleepInTestsRule)
+        assert len(findings) == 1
+        assert "deadline" in findings[0].message
+
+    def test_silent_on_deadline_bounded_polling(self, tmp_path):
+        findings = lint_one(tmp_path, "tests/test_x.py", """
+            import time
+            def test_thing(server):
+                deadline = time.monotonic() + 5
+                while not server.ready:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+        """, BareSleepInTestsRule)
+        assert findings == []
+
+    def test_silent_on_sleep_zero_yield(self, tmp_path):
+        findings = lint_one(tmp_path, "tests/test_x.py", """
+            import asyncio
+            async def test_thing(service):
+                await asyncio.sleep(0)
+        """, BareSleepInTestsRule)
+        assert findings == []
+
+    def test_silent_outside_tests(self, tmp_path):
+        findings = lint_one(tmp_path, "src/repro/service/x.py", """
+            import time
+            def warm_up():
+                time.sleep(0.2)
+        """, BareSleepInTestsRule)
+        assert findings == []
+
+
+class TestCodecSymmetry:
+    def _write(self, tmp_path, relpath, code):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code))
+        return path
+
+    def test_fires_on_encoder_without_decoder(self, tmp_path):
+        self._write(tmp_path, "src/repro/fabric/protocol.py", """
+            def encode_lease(lease):
+                return {"kind": "lease"}
+        """)
+        report = run_analysis([tmp_path / "src"], [CodecSymmetryRule()])
+        messages = [finding.message for finding in report.findings]
+        assert any("decode_lease" in message for message in messages)
+
+    def test_fires_on_codec_no_test_exercises(self, tmp_path):
+        self._write(tmp_path, "src/repro/fabric/protocol.py", """
+            def encode_lease(lease):
+                return {"kind": "lease"}
+            def decode_lease(frame):
+                return frame
+        """)
+        self._write(tmp_path, "tests/test_protocol.py", """
+            from repro.fabric.protocol import encode_lease
+            def test_encode():
+                assert encode_lease(None)["kind"] == "lease"
+        """)
+        report = run_analysis(
+            [tmp_path / "src", tmp_path / "tests"], [CodecSymmetryRule()]
+        )
+        untested = [
+            finding for finding in report.findings
+            if "not exercised" in finding.message
+        ]
+        assert len(untested) == 1
+        assert "decode_lease" in untested[0].message
+
+    def test_silent_on_paired_and_tested_codecs(self, tmp_path):
+        self._write(tmp_path, "src/repro/fabric/protocol.py", """
+            def encode_lease(lease):
+                return {"kind": "lease"}
+            def decode_lease(frame):
+                return frame
+        """)
+        self._write(tmp_path, "tests/test_protocol.py", """
+            from repro.fabric.protocol import decode_lease, encode_lease
+            def test_round_trip():
+                assert decode_lease(encode_lease(None))["kind"] == "lease"
+        """)
+        report = run_analysis(
+            [tmp_path / "src", tmp_path / "tests"], [CodecSymmetryRule()]
+        )
+        assert [f for f in report.findings if f.rule == "RPR012"] == []
+
+
+class TestEveryRuleHasAFixture:
+    def test_no_rule_escapes_this_file(self):
+        """Meta: adding a rule without fixture coverage must fail loudly."""
+        covered = {
+            WallClockRule, UnseededRandomRule, UnawaitedCoroutineRule,
+            DanglingTaskRule, WaitWithoutCancelRule, BlockingCallInAsyncRule,
+            ShmOwnershipRule, NonAtomicJsonWriteRule, LockAcrossAwaitRule,
+            SilentExceptRule, BareSleepInTestsRule, CodecSymmetryRule,
+        }
+        assert covered == set(ALL_RULES)

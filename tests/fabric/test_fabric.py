@@ -373,3 +373,63 @@ class TestFaultyChannelDifferential:
                 assert snapshot["fabric"]["outstanding_leases"] == 0
 
         asyncio.run(scenario())
+
+
+class TestFallbackEvidence:
+    def test_fabric_decline_increments_fallback_counter(self):
+        """Regression: a FabricUnavailableError used to fall through to the
+        local path silently — a degraded fleet was invisible in /stats."""
+
+        class DecliningRemote:
+            def has_workers(self):
+                return True
+
+            async def execute(self, topology, requests):
+                raise FabricUnavailableError("all retries spent")
+
+            def stats(self):
+                return {}
+
+        async def scenario():
+            service = DiagnosisService(
+                remote=DecliningRemote(), batch_delay=0.005
+            )
+            try:
+                requests = _requests(count=3)
+                responses = await service.submit_many(requests)
+                _assert_matches_direct(requests, responses)
+                snapshot = service.stats()
+                assert snapshot["fabric_fallbacks"] >= 1
+            finally:
+                await service.close()
+
+        asyncio.run(scenario())
+
+    def test_worker_error_report_leaves_counter_and_message(self):
+        """Regression: a worker's terminal error frame was requeued with its
+        message discarded, leaving no evidence of *why* the environment
+        failed."""
+        from types import SimpleNamespace
+
+        async def scenario():
+            coordinator = FabricCoordinator(port=0, **FAST)
+            await coordinator.start()
+            try:
+                link = SimpleNamespace(worker_id="w1", inflight={"L1"})
+                coordinator._handle_worker_error(link, {
+                    "kind": "error",
+                    "lease": "L1",
+                    "worker": "w1",
+                    "message": "RuntimeError: cannot build topology",
+                })
+                assert link.inflight == set()
+                row = coordinator.metrics.worker("w1")
+                assert row["errors"] == 1
+                stats = coordinator.stats()
+                assert stats["last_worker_errors"] == {
+                    "w1": "RuntimeError: cannot build topology"
+                }
+            finally:
+                await coordinator.close()
+
+        asyncio.run(scenario())

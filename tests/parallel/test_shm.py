@@ -235,3 +235,40 @@ class TestAttachRegistry:
             pool_mod._BUFFER_CACHE.clear()
             for segment in segments:
                 segment.close()
+
+
+class TestAllocateBufferOwnership:
+    def test_zero_fill_failure_does_not_leak_the_segment(self, monkeypatch):
+        """Regression: ``allocate_buffer`` zero-filled the segment *between*
+        create and the OwnedSegment wrap, so an exception in the fill leaked
+        an ownerless segment in /dev/shm.  The wrap must come first: then the
+        finalize guard reclaims the segment on any exit path."""
+        from repro.parallel import shm as shm_mod
+
+        real_cls = shared_memory.SharedMemory
+        names: list[str] = []
+
+        class ExplodingSegment(real_cls):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                names.append(self.name)
+
+            @property
+            def buf(self):
+                raise RuntimeError("simulated fill failure")
+
+        monkeypatch.setattr(
+            shm_mod.shared_memory, "SharedMemory", ExplodingSegment
+        )
+        try:
+            shm_mod.allocate_buffer(64)
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover - the patched segment always raises
+            pytest.fail("patched segment should have raised")
+        gc.collect()  # drop the half-constructed OwnedSegment -> finalize
+        assert names, "allocate_buffer never created a segment"
+        assert not _segment_exists(names[0]), (
+            "segment leaked: OwnedSegment must wrap the segment before any "
+            "statement that can raise"
+        )

@@ -515,3 +515,33 @@ class TestFairnessCommand:
             main(["load", "--fairness", "--hot-requests", "0"])
         with pytest.raises(SystemExit, match="--tenant-quota"):
             main(["load", "--fairness", "--tenant-quota", "0"])
+
+
+class TestAtomicWrites:
+    def test_write_text_atomic_replaces_and_leaves_no_temp(self, tmp_path):
+        """Regression: ``--trace`` wrote through a bare open(path, 'w'), so a
+        crash mid-write could leave a torn trace for ``replay_stats``; text
+        artifacts now go through the same temp-file + rename path as JSON."""
+        from repro.cli import _write_text_atomic
+
+        target = tmp_path / "trace.log"
+        target.write_text("old content")
+        _write_text_atomic(str(target), "EVENT a\nSTATS {}\n")
+        assert target.read_text() == "EVENT a\nSTATS {}\n"
+        leftovers = [p for p in tmp_path.iterdir() if p != target]
+        assert leftovers == [], f"temp files left behind: {leftovers}"
+
+    def test_write_json_atomic_still_round_trips(self, tmp_path):
+        import json
+
+        from repro.cli import _write_json_atomic
+
+        target = tmp_path / "stats.json"
+        _write_json_atomic(str(target), {"requests": 3, "ok": True})
+        assert json.loads(target.read_text()) == {"requests": 3, "ok": True}
+
+    def test_lint_subcommand_forwards_to_analyzer(self, capsys):
+        code = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RPR005" in out  # the zombie-worker rule is registered
